@@ -1,0 +1,86 @@
+// Command glacreport regenerates every table and figure of the paper's
+// evaluation from the simulation, plus the numeric claims embedded in the
+// text (battery lifetimes, backlog thresholds, sync lag, probe survival).
+//
+// Usage:
+//
+//	glacreport -exp all          # everything
+//	glacreport -exp t1,t2,f5     # a subset
+//
+// Experiment IDs: t1 t2 f3 f4 f5 f6 x1 x2 x3 x4 x5 x6 x7 x8 (see DESIGN.md
+// §4 for the index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func() error
+}
+
+func main() {
+	var exp = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	var seed = flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	exps := []experiment{
+		{"t1", "Table I — characteristics of system components", func() error { return tableI(*seed) }},
+		{"t2", "Table II — power states", func() error { return tableII() }},
+		{"f3", "Fig 3 — final system architecture (data flows)", func() error { return fig3(*seed) }},
+		{"f4", "Fig 4 — daily execution flowchart", func() error { return fig4(*seed) }},
+		{"f5", "Fig 5 — diurnal voltage with dGPS ripple and state switch", func() error { return fig5(*seed) }},
+		{"f6", "Fig 6 — sub-glacial conductivity at end of winter", func() error { return fig6(*seed) }},
+		{"x1", "§III — battery lifetime vs dGPS duty cycle", func() error { return expLifetime() }},
+		{"x2", "§II — radio-modem relay vs dual GPRS", func() error { return expArch(*seed) }},
+		{"x3", "§V — bulk fetch protocols on the summer channel", func() error { return expBulkFetch(*seed) }},
+		{"x4", "§VI — 2 h watchdog: backlog bounds and the single-file deadlock", func() error { return expWatchdog(*seed) }},
+		{"x5", "§III — override sync lag between stations", func() error { return expSyncLag(*seed) }},
+		{"x6", "§IV — schedule/RTC recovery after total depletion", func() error { return expRecovery(*seed) }},
+		{"x7", "§V — probe cohort survival", func() error { return expSurvival() }},
+		{"x8", "§VI — remote update feedback latency", func() error { return expUpdate(*seed) }},
+		{"ext1", "§VII extension — priority data forcing marginal-power comms", func() error { return expPriority(*seed) }},
+	}
+
+	want := map[string]bool{}
+	runAll := *exp == "all"
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	known := map[string]bool{}
+	for _, e := range exps {
+		known[e.id] = true
+	}
+	if !runAll {
+		var unknown []string
+		for id := range want {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "glacreport: unknown experiment ids: %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range exps {
+		if !runAll && !want[e.id] {
+			continue
+		}
+		fmt.Printf("\n%s\n%s  %s\n%s\n", rule(), strings.ToUpper(e.id), e.title, rule())
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "glacreport %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func rule() string { return strings.Repeat("=", 78) }

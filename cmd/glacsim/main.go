@@ -1,0 +1,103 @@
+// Command glacsim runs a configurable simulated Glacsweb deployment and
+// prints daily run reports plus a final summary.
+//
+// Usage:
+//
+//	glacsim -days 120 -seed 42 -probes 7 [-start 2008-09-01] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glacsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		days    = flag.Int("days", 120, "simulated days to run")
+		csvPath = flag.String("csv", "", "write the base station's voltage trace as CSV")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		probes  = flag.Int("probes", 7, "sub-glacial probe count")
+		start   = flag.String("start", "2008-09-01", "start date (YYYY-MM-DD)")
+		verbose = flag.Bool("v", false, "print every daily run report")
+		fixed   = flag.Bool("special-first", false, "apply the §VI special-before-upload fix")
+	)
+	flag.Parse()
+
+	t0, err := time.Parse("2006-01-02", *start)
+	if err != nil {
+		return fmt.Errorf("bad -start: %w", err)
+	}
+
+	cfg := deploy.DefaultConfig(*seed)
+	cfg.Start = t0
+	cfg.NumProbes = *probes
+	cfg.Base.SpecialFirst = *fixed
+	cfg.Reference.SpecialFirst = *fixed
+	d := deploy.New(cfg)
+
+	var volts *trace.Series
+	if *csvPath != "" {
+		volts, _ = trace.Sample(d.Sim, 10*time.Minute, "base_volts", "V",
+			func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })
+	}
+
+	if *verbose {
+		d.Base.OnReport(func(r station.RunReport) { printReport("base", r) })
+		d.Reference.OnReport(func(r station.RunReport) { printReport("ref ", r) })
+	}
+
+	if err := d.RunDays(*days); err != nil {
+		return err
+	}
+
+	fmt.Printf("=== %d simulated days (seed %d) ===\n", *days, *seed)
+	for name, st := range map[string]*station.Station{"base": d.Base, "ref": d.Reference} {
+		s := st.Stats()
+		fmt.Printf("%-5s runs=%d completed=%d watchdog=%d commsFail=%d specials=%d recoveries=%d state=%v soc=%.2f spool=%d\n",
+			name, s.Runs, s.CompletedRuns, s.WatchdogTrips, s.CommsFailures,
+			s.SpecialsExecuted, s.Recoveries, st.State(), st.Node().Battery.SoC(), st.Spool().Len())
+	}
+	alive := 0
+	for _, p := range d.Probes {
+		if p.Alive(d.Sim.Now()) {
+			alive++
+		}
+	}
+	fmt.Printf("probes alive: %d/%d\n", alive, len(d.Probes))
+	if volts != nil {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		if err := volts.WriteCSV(f); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+		fmt.Printf("voltage trace (%d samples) written to %s\n", volts.Len(), *csvPath)
+	}
+	for _, rec := range d.Server.Stations() {
+		fmt.Printf("server<-%s: %.2f MB in %d uploads, last state %v\n",
+			rec.Name, float64(rec.BytesReceived)/(1<<20), rec.Uploads, rec.LastState)
+	}
+	return nil
+}
+
+func printReport(name string, r station.RunReport) {
+	fmt.Printf("%s %s local=%v ov=%2d eff=%v probes=%4d gps=%2d up=%7dB comms=%-5v wd=%-5v %v\n",
+		name, r.Date.Format("2006-01-02"), r.LocalState, int(r.Override), r.Effective,
+		r.ProbeReadings, r.GPSFilesDrained, r.UploadedBytes, r.CommsOK, r.WatchdogTripped,
+		r.WallElapsed.Round(time.Minute))
+}

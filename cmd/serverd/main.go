@@ -1,0 +1,47 @@
+// Command serverd runs the Southampton coordination server as a real HTTP
+// service — the same min-rule override, special-command and MD5-beacon
+// protocol the simulated stations speak, for driving with cmd/stationctl or
+// curl.
+//
+// Usage:
+//
+//	serverd -addr :8090
+//
+// Endpoints (all GET — the deployed wget had no POST):
+//
+//	/state?station=S&state=N
+//	/override?station=S
+//	/upload?station=S&bytes=N
+//	/special?station=S
+//	/md5?station=S&artifact=A&sum=H
+//	/status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	flag.Parse()
+
+	srv := server.New()
+	h := server.NewHandler(srv)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("serverd: Southampton server listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "serverd:", err)
+		os.Exit(1)
+	}
+}

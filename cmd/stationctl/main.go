@@ -1,0 +1,80 @@
+// Command stationctl performs one station-side daily exchange against a
+// running serverd, using the station HTTP client: upload a power state,
+// report a data volume, fetch the override, pop a special, and beacon an
+// MD5 — the wire protocol of the Fig 4 comms phase.
+//
+// Usage:
+//
+//	stationctl -server http://localhost:8090 -station base -state 3 -bytes 2100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/power"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stationctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		base     = flag.String("server", "http://localhost:8090", "serverd base URL")
+		name     = flag.String("station", "base", "station name")
+		state    = flag.Int("state", 3, "local power state to upload (0-3)")
+		bytes    = flag.Int64("bytes", 0, "data volume to report uploaded")
+		md5sum   = flag.String("md5", "", "optional checksum beacon to send")
+		artifact = flag.String("artifact", "code.py", "artifact name for the beacon")
+	)
+	flag.Parse()
+
+	if !power.State(*state).Valid() {
+		return fmt.Errorf("state %d out of range 0-3", *state)
+	}
+	cl := &server.Client{BaseURL: *base, Station: *name}
+
+	// The Fig 4 comms ordering: state, data, override, special.
+	if err := cl.UploadState(power.State(*state)); err != nil {
+		return fmt.Errorf("upload state: %w", err)
+	}
+	fmt.Printf("uploaded state %d\n", *state)
+
+	if *bytes > 0 {
+		if err := cl.UploadData(*bytes); err != nil {
+			return fmt.Errorf("upload data: %w", err)
+		}
+		fmt.Printf("reported %d bytes of data\n", *bytes)
+	}
+
+	ov, err := cl.FetchOverride()
+	if err != nil {
+		return fmt.Errorf("fetch override: %w", err)
+	}
+	eff := power.ApplyOverride(power.State(*state), ov)
+	fmt.Printf("override: %d -> effective state %d\n", int(ov), int(eff))
+
+	sp, ok, err := cl.FetchSpecial()
+	if err != nil {
+		return fmt.Errorf("fetch special: %w", err)
+	}
+	if ok {
+		fmt.Printf("special #%d: %q\n", sp.ID, sp.Script)
+	} else {
+		fmt.Println("no special pending")
+	}
+
+	if *md5sum != "" {
+		if err := cl.ReportMD5(*artifact, *md5sum); err != nil {
+			return fmt.Errorf("md5 beacon: %w", err)
+		}
+		fmt.Printf("beaconed md5 %s for %s\n", *md5sum, *artifact)
+	}
+	return nil
+}

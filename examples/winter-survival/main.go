@@ -1,0 +1,62 @@
+// Winter survival: the scenario the power management design exists for.
+//
+// A full year on the ice cap, September to September. Watch the Table II
+// power state follow the battery through the dark months — the server's
+// min-rule keeping both stations in lock-step — and, if the batteries
+// bottom out, the §IV automatic schedule recovery bringing the station back
+// with a GPS-corrected clock in state 0.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultDeploymentConfig(2008)
+	d := repro.NewDeployment(cfg)
+
+	// Track the base station's adopted power state per day.
+	stateByMonth := map[string][4]int{}
+	d.Base.OnReport(func(r repro.RunReport) {
+		key := r.Date.Format("2006-01")
+		counts := stateByMonth[key]
+		if r.Effective >= 0 && int(r.Effective) < 4 {
+			counts[int(r.Effective)]++
+		}
+		stateByMonth[key] = counts
+	})
+
+	volts, _ := repro.SampleSeries(d.Sim, time.Hour, "base battery", "V",
+		func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })
+
+	if err := d.RunDays(365); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("== a year on the ice: base station power states by month ==")
+	fmt.Println("month     st0 st1 st2 st3   (days in each Table II state)")
+	cur := time.Date(2008, 9, 1, 0, 0, 0, 0, time.UTC)
+	for cur.Before(d.Sim.Now()) {
+		key := cur.Format("2006-01")
+		c := stateByMonth[key]
+		fmt.Printf("%s   %3d %3d %3d %3d\n", key, c[0], c[1], c[2], c[3])
+		cur = cur.AddDate(0, 1, 0)
+	}
+
+	bs, rs := d.Base.Stats(), d.Reference.Stats()
+	fmt.Printf("\nbase: %d runs, %d watchdog trips, %d comms failures, %d recoveries\n",
+		bs.Runs, bs.WatchdogTrips, bs.CommsFailures, bs.Recoveries)
+	fmt.Printf("ref:  %d runs, %d watchdog trips, %d comms failures, %d recoveries\n",
+		rs.Runs, rs.WatchdogTrips, rs.CommsFailures, rs.Recoveries)
+	fmt.Printf("base battery now: %.0f%% — power failures: %d\n",
+		d.Base.Node().Battery.SoC()*100, d.Base.Node().Bus.FailCount())
+
+	fmt.Println("\ndeep-winter voltage (two weeks in January):")
+	jan := volts.Window(
+		time.Date(2009, 1, 10, 0, 0, 0, 0, time.UTC),
+		time.Date(2009, 1, 24, 0, 0, 0, 0, time.UTC))
+	fmt.Print(repro.ASCIIChart(72, 10, jan))
+}

@@ -1,0 +1,249 @@
+// Package repro is a reproduction, as a Go library and simulation testbed,
+// of "Field Deployment of Low Power High Performance Nodes" (Martinez,
+// Basford, Ellul, Clarke — the Glacsweb project's Gumsense base stations on
+// Vatnajökull, Iceland).
+//
+// The paper's contribution is a fault-tolerant dual-processor sensor
+// gateway: an ARM Linux Gumstix for the heavy lifting, an MSP430 for
+// sensing, timekeeping and power switching, plus a set of deployment
+// techniques — a voltage-driven power-state machine (Table II),
+// server-mediated schedule synchronisation between stations that never talk
+// to each other, automatic clock/schedule recovery after total battery
+// exhaustion, an ack-less bulk fetch protocol for sub-glacial probe data, a
+// two-hour safety watchdog, and checksum-verified remote code update.
+//
+// Since the original system is inseparable from its hardware (glacier,
+// batteries, GPRS modems, dGPS units), this package fronts a deterministic
+// discrete-event simulation of the complete deployment; the paper's
+// algorithms run unchanged on the simulated platform. See DESIGN.md for the
+// full system inventory and EXPERIMENTS.md for the reproduced evaluation.
+//
+// Quick start:
+//
+//	d := repro.NewDeployment(repro.DeploymentConfig{Seed: 42})
+//	_ = d.RunDays(120)
+//	fmt.Println(d.Base.Stats())
+package repro
+
+import (
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/energy"
+	"repro/internal/power"
+	"repro/internal/probe"
+	"repro/internal/protocol"
+	"repro/internal/server"
+	"repro/internal/simenv"
+	"repro/internal/station"
+	"repro/internal/trace"
+	"repro/internal/update"
+	"repro/internal/weather"
+)
+
+// Re-exported deployment types: a Deployment wires the full Fig 3
+// architecture (base station, reference station, probe cohort, Southampton
+// server) on one simulator.
+type (
+	// Deployment is a fully wired simulated field system.
+	Deployment = deploy.Deployment
+	// DeploymentConfig parameterises NewDeployment.
+	DeploymentConfig = deploy.Config
+	// Station is one station runtime (base or reference).
+	Station = station.Station
+	// StationConfig parameterises a station runtime.
+	StationConfig = station.Config
+	// RunReport summarises one daily station run.
+	RunReport = station.RunReport
+	// Node is the Gumsense hardware platform.
+	Node = core.Node
+	// NodeConfig parameterises a Node.
+	NodeConfig = core.NodeConfig
+	// Server is the Southampton coordination server.
+	Server = server.Server
+	// PowerState is a Table II power state (0-3).
+	PowerState = power.State
+	// Probe is a sub-glacial sensor node.
+	Probe = probe.Probe
+	// Reading is one probe measurement.
+	Reading = probe.Reading
+	// Simulator is the discrete-event kernel.
+	Simulator = simenv.Simulator
+	// WeatherModel is the synthetic Vatnajökull climate.
+	WeatherModel = weather.Model
+	// Series is a recorded time series (figures, traces).
+	Series = trace.Series
+	// Artifact is a remotely updatable program.
+	Artifact = update.Artifact
+	// FetchResult describes one probe bulk-fetch session.
+	FetchResult = protocol.Result
+)
+
+// Table II power states.
+const (
+	PowerState0 = power.State0
+	PowerState1 = power.State1
+	PowerState2 = power.State2
+	PowerState3 = power.State3
+)
+
+// Station roles.
+const (
+	RoleBase      = station.RoleBase
+	RoleReference = station.RoleReference
+)
+
+// NewDeployment wires a complete simulated deployment. Zero-value fields of
+// cfg are filled with the as-deployed defaults (7 probes, September 2008
+// start, Table I/II parameters).
+func NewDeployment(cfg DeploymentConfig) *Deployment {
+	return deploy.New(cfg)
+}
+
+// DefaultDeploymentConfig returns the as-deployed system configuration.
+func DefaultDeploymentConfig(seed int64) DeploymentConfig {
+	return deploy.DefaultConfig(seed)
+}
+
+// DefaultStationConfig returns the as-deployed runtime configuration for a
+// role (use RoleBase or RoleReference).
+func DefaultStationConfig(role station.Role) StationConfig {
+	return station.DefaultConfig(role)
+}
+
+// NewSimulator returns a standalone simulator starting at the given time,
+// for building custom scenarios out of the exported hardware pieces.
+func NewSimulator(seed int64, start time.Time) *Simulator {
+	return simenv.NewAt(seed, start)
+}
+
+// NewWeather returns the synthetic Iceland climate for a seed.
+func NewWeather(seed int64) *WeatherModel {
+	return weather.New(weather.DefaultConfig(seed))
+}
+
+// NewNode assembles a Gumsense node on a simulator. Use BaseNodeConfig or
+// ReferenceNodeConfig for the deployed hardware fits.
+func NewNode(sim *Simulator, wx *WeatherModel, cfg NodeConfig) *Node {
+	return core.NewNode(sim, wx, cfg)
+}
+
+// BaseNodeConfig is the base-station hardware fit (10 W solar, 50 W wind).
+func BaseNodeConfig(name string) NodeConfig { return core.BaseStationConfig(name) }
+
+// ReferenceNodeConfig is the reference-station fit (solar + seasonal mains).
+func ReferenceNodeConfig(name string) NodeConfig { return core.ReferenceStationConfig(name) }
+
+// NewServer returns an empty Southampton server.
+func NewServer() *Server { return server.New() }
+
+// StateForVoltage maps a daily-average battery voltage to a Table II state.
+func StateForVoltage(avgVolts float64) PowerState { return power.StateForVoltage(avgVolts) }
+
+// ApplyOverride combines a local state with a server override under the
+// §III safety clamps.
+func ApplyOverride(local, override PowerState) PowerState {
+	return power.ApplyOverride(local, override)
+}
+
+// SampleSeries attaches a periodic sampler to a simulator (figures).
+func SampleSeries(sim *Simulator, interval time.Duration, name, unit string,
+	fn func(now time.Time) float64) (*Series, *simenv.Ticker) {
+	return trace.Sample(sim, interval, name, unit, fn)
+}
+
+// ASCIIChart renders series as a terminal chart.
+func ASCIIChart(width, height int, series ...*Series) string {
+	return trace.ASCIIChart(width, height, series...)
+}
+
+// Protocol layer: the paper's ack-less probe fetcher and the stop-and-wait
+// baseline it replaced.
+type (
+	// ProbeChannel is the lossy sub-glacial radio medium.
+	ProbeChannel = comms.ProbeChannel
+	// ProbeConfig parameterises a probe.
+	ProbeConfig = probe.Config
+	// NackFetcher is the paper's ack-less bulk fetcher.
+	NackFetcher = protocol.NackFetcher
+	// AckFetcher is the acknowledged baseline.
+	AckFetcher = protocol.AckFetcher
+	// FetchState is the base station's cross-session received-set.
+	FetchState = protocol.State
+	// Installer manages checksum-verified remote updates on a station.
+	Installer = update.Installer
+	// Manifest is the expected identity of an update artifact.
+	Manifest = update.Manifest
+	// Battery is a lead-acid bank with the Fig 5 voltage model.
+	Battery = energy.Battery
+	// BatteryConfig parameterises a Battery.
+	BatteryConfig = energy.BatteryConfig
+)
+
+// NewProbeChannel returns the probe radio medium (wx may be nil for a
+// permanent dry-winter channel).
+func NewProbeChannel(sim *Simulator, wx *WeatherModel) *ProbeChannel {
+	return comms.NewProbeChannel(sim, wx, comms.ProbeRadioConfig{})
+}
+
+// DefaultProbeConfig returns per-probe parameters for an ID (the paper's
+// probes are numbered 21, 24, 25, ...).
+func DefaultProbeConfig(id int) ProbeConfig { return probe.DefaultConfig(id) }
+
+// NewProbe constructs a sub-glacial probe and starts its sampling schedule.
+func NewProbe(sim *Simulator, wx *WeatherModel, cfg ProbeConfig) *Probe {
+	return probe.New(sim, wx, cfg)
+}
+
+// NewNackFetcher returns the paper's fetcher in its as-deployed
+// configuration, including the untested 256-NACK limit that failed in the
+// field; NewFixedNackFetcher returns the post-fix configuration.
+func NewNackFetcher() *NackFetcher { return protocol.NewNackFetcher(protocol.DefaultNackConfig()) }
+
+// NewFixedNackFetcher returns the fetcher with the NACK limit removed.
+func NewFixedNackFetcher() *NackFetcher { return protocol.NewNackFetcher(protocol.FixedNackConfig()) }
+
+// NewAckFetcher returns the stop-and-wait baseline.
+func NewAckFetcher() *AckFetcher { return protocol.NewAckFetcher(protocol.DefaultAckConfig()) }
+
+// NewFetchState returns an empty cross-session fetch state.
+func NewFetchState() *FetchState { return protocol.NewState() }
+
+// NewInstaller returns an empty update installer.
+func NewInstaller() *Installer { return update.NewInstaller() }
+
+// ManifestFor builds the manifest of a verified artifact.
+func ManifestFor(a Artifact) Manifest { return update.ManifestFor(a) }
+
+// CorruptInTransit damages an artifact copy for failure-injection demos.
+func CorruptInTransit(a Artifact, fraction float64, pick func(i int) float64) Artifact {
+	return update.CorruptInTransit(a, fraction, pick)
+}
+
+// NewBattery constructs a battery bank (zero config = the 36 Ah deployed
+// bank).
+func NewBattery(cfg BatteryConfig) *Battery { return energy.NewBattery(cfg) }
+
+// HashNoise is the deterministic uniform noise used throughout the
+// simulation; exposed for writing reproducible custom scenarios.
+func HashNoise(seed int64, tag string, k uint64) float64 {
+	return simenv.HashNoise(seed, tag, k)
+}
+
+// Table I device characteristics (transfer rate bps, power W).
+const (
+	GPRSRateBps   = comms.GPRSRateBps
+	GPRSPowerW    = comms.GPRSPowerW
+	RadioRateBps  = comms.RadioRateBps
+	RadioPowerW   = comms.RadioPowerW
+	GumstixPowerW = 0.9
+	GPSPowerW     = 3.6
+)
+
+// Verify the facade stays assignable to the things it fronts.
+var (
+	_ = NewDeployment
+	_ = energy.NominalVolts
+)

@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The facade-level smoke test: the quickstart path works end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	d := repro.NewDeployment(repro.DefaultDeploymentConfig(42))
+	volts, _ := repro.SampleSeries(d.Sim, time.Hour, "v", "V",
+		func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })
+	if err := d.RunDays(14); err != nil {
+		t.Fatal(err)
+	}
+	if d.Base.Stats().Runs != 14 {
+		t.Fatalf("base ran %d days", d.Base.Stats().Runs)
+	}
+	if volts.Len() == 0 {
+		t.Fatal("no voltage samples")
+	}
+	chart := repro.ASCIIChart(60, 8, volts)
+	if !strings.Contains(chart, "*") {
+		t.Fatal("chart empty")
+	}
+}
+
+func TestFacadePowerStateHelpers(t *testing.T) {
+	if repro.StateForVoltage(12.6) != repro.PowerState3 {
+		t.Fatal("StateForVoltage wrong")
+	}
+	if repro.ApplyOverride(repro.PowerState3, repro.PowerState0) != repro.PowerState1 {
+		t.Fatal("ApplyOverride clamp wrong")
+	}
+}
+
+func TestFacadeProtocolScenario(t *testing.T) {
+	sim := repro.NewSimulator(9, time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC))
+	wx := repro.NewWeather(9)
+	cfg := repro.DefaultProbeConfig(21)
+	cfg.MeanLifetime = 50 * 365 * 24 * time.Hour
+	pr := repro.NewProbe(sim, wx, cfg)
+	if err := sim.RunFor(48 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	ch := repro.NewProbeChannel(sim, wx)
+	res := repro.NewNackFetcher().Fetch(sim.Now(), ch, pr, 2*time.Hour, repro.NewFetchState())
+	if !res.Complete || len(res.Got) != 48 {
+		t.Fatalf("facade fetch: got %d complete=%v err=%v", len(res.Got), res.Complete, res.Err)
+	}
+}
+
+func TestFacadeUpdateFlow(t *testing.T) {
+	ins := repro.NewInstaller()
+	a := repro.Artifact{Name: "x", Version: "v1", Payload: []byte("body")}
+	if err := ins.Install(a, repro.ManifestFor(a), time.Now(), nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := repro.CorruptInTransit(a, 1, func(int) float64 { return 0 })
+	if err := ins.Install(bad, repro.ManifestFor(a), time.Now(), nil); err == nil {
+		t.Fatal("corrupt install accepted")
+	}
+}
+
+func TestFacadeTableIConstants(t *testing.T) {
+	if repro.GPRSRateBps != 5000 || repro.RadioRateBps != 2000 {
+		t.Fatal("Table I rates wrong")
+	}
+	if repro.GPRSPowerW != 2.64 || repro.RadioPowerW != 3.96 ||
+		repro.GumstixPowerW != 0.9 || repro.GPSPowerW != 3.6 {
+		t.Fatal("Table I powers wrong")
+	}
+}
+
+func TestFacadeCustomNode(t *testing.T) {
+	sim := repro.NewSimulator(3, time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC))
+	wx := repro.NewWeather(3)
+	node := repro.NewNode(sim, wx, repro.BaseNodeConfig("custom"))
+	if err := sim.RunFor(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	snap := node.Snapshot()
+	if snap.Volts < 11 || snap.Volts > 15 {
+		t.Fatalf("implausible voltage %v", snap.Volts)
+	}
+}

@@ -1,0 +1,89 @@
+// Package comms models every radio link in the deployment at the level the
+// paper evaluates them: data rate, electrical power, availability, and the
+// failure semantics that drove the architecture change from an
+// inter-station radio-modem relay (Norway) to independent GPRS modems per
+// station (Iceland).
+//
+// Table I of the paper gives the characteristics reproduced here:
+//
+//	Device        Transfer rate   Power
+//	Gumstix       —               900 mW
+//	GPRS modem    5000 bps        2640 mW
+//	Radio modem   2000 bps        3960 mW
+//	GPS           —               3600 mW
+package comms
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simenv"
+)
+
+// Table I characteristics.
+const (
+	GPRSRateBps  = 5000
+	GPRSPowerW   = 2.64
+	RadioRateBps = 2000
+	RadioPowerW  = 3.96
+)
+
+// ErrNoSignal is returned when a modem cannot attach to its network at all
+// during the current window.
+var ErrNoSignal = errors.New("comms: no signal")
+
+// ErrDropped is returned when a transfer was interrupted partway.
+var ErrDropped = errors.New("comms: link dropped mid-transfer")
+
+// TransferResult describes how a transfer attempt ended.
+type TransferResult struct {
+	// Sent is the number of payload bytes that made it across.
+	Sent int64
+	// Elapsed is the time the attempt occupied, whether or not it finished.
+	Elapsed time.Duration
+	// Err is nil on success, ErrDropped on a mid-transfer failure.
+	Err error
+}
+
+// Completed reports whether the whole payload was transferred.
+func (r TransferResult) Completed() bool { return r.Err == nil }
+
+// transferTime returns the wire time for n bytes at rate bps, including a
+// fractional protocol overhead.
+func transferTime(n int64, bps float64, overhead float64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	secs := float64(n) * 8 * (1 + overhead) / bps
+	return time.Duration(secs * float64(time.Second))
+}
+
+// hashNoise returns a deterministic uniform [0,1) keyed on (seed, tag, k).
+// Link availability uses hash noise rather than a shared RNG stream so that
+// adding unrelated randomness elsewhere cannot change an outage pattern.
+func hashNoise(seed int64, tag string, k uint64) float64 {
+	return simenv.HashNoise(seed, tag, k)
+}
+
+// BytesPerSecond converts a bit rate to an effective byte rate with the
+// given protocol overhead fraction.
+func BytesPerSecond(bps float64, overhead float64) float64 {
+	return bps / 8 / (1 + overhead)
+}
+
+// costLedger tracks metered data cost (GPRS is paid per megabyte).
+type costLedger struct {
+	bytes   int64
+	perMB   float64
+	accrued float64
+}
+
+func (c *costLedger) add(n int64) {
+	c.bytes += n
+	c.accrued += float64(n) / (1024 * 1024) * c.perMB
+}
+
+func (c *costLedger) String() string {
+	return fmt.Sprintf("%.2f MB, cost %.2f", float64(c.bytes)/(1024*1024), c.accrued)
+}

@@ -1,0 +1,208 @@
+package comms
+
+import (
+	"time"
+
+	"repro/internal/hw/mcu"
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+// GPRSRail is the MCU power-rail name conventionally used for GPRS modems.
+const GPRSRail = "gprs"
+
+// GPRSConfig parameterises a GPRS modem and its cell environment.
+type GPRSConfig struct {
+	// RateBps is the payload rate; Table I says 5000 bps.
+	RateBps float64
+	// PowerW is the draw while the rail is up; Table I says 2.64 W.
+	PowerW float64
+	// AttachTime is the time to register on the network and bring up the
+	// session before payload can flow.
+	AttachTime time.Duration
+	// Overhead is the protocol overhead fraction on payload bytes.
+	Overhead float64
+	// BaseOutageP is the chance a given day's window has no usable signal.
+	BaseOutageP float64
+	// WetOutageP is added at full melt (summer is the weak season:
+	// "communications fail ... frequently, especially in the wetter summer").
+	WetOutageP float64
+	// DropPerHour is the chance per hour of connection of a mid-transfer
+	// drop.
+	DropPerHour float64
+	// CostPerMB is the tariff used for the data-cost ledger.
+	CostPerMB float64
+}
+
+// DefaultGPRSConfig returns the Iceland deployment values.
+func DefaultGPRSConfig() GPRSConfig {
+	return GPRSConfig{
+		RateBps:     GPRSRateBps,
+		PowerW:      GPRSPowerW,
+		AttachTime:  45 * time.Second,
+		Overhead:    0.12,
+		BaseOutageP: 0.06,
+		WetOutageP:  0.14,
+		DropPerHour: 0.35,
+		CostPerMB:   1.0,
+	}
+}
+
+// GPRS is a simulated GPRS modem switched by the station MCU.
+type GPRS struct {
+	sim  *simenv.Simulator
+	ctrl *mcu.MCU
+	wx   *weather.Model
+	name string
+	cfg  GPRSConfig
+
+	powered  bool
+	attached bool
+	cost     costLedger
+
+	attachAttempts uint64
+	attachFailures uint64
+	drops          uint64
+}
+
+// NewGPRS constructs a modem bound to the MCU's gprs rail (defining it).
+// wx may be nil for an ideal cell environment.
+func NewGPRS(sim *simenv.Simulator, ctrl *mcu.MCU, wx *weather.Model, name string, cfg GPRSConfig) *GPRS {
+	def := DefaultGPRSConfig()
+	if cfg.RateBps == 0 {
+		cfg.RateBps = def.RateBps
+	}
+	if cfg.PowerW == 0 {
+		cfg.PowerW = def.PowerW
+	}
+	if cfg.AttachTime == 0 {
+		cfg.AttachTime = def.AttachTime
+	}
+	if cfg.Overhead == 0 {
+		cfg.Overhead = def.Overhead
+	}
+	if cfg.DropPerHour == 0 {
+		cfg.DropPerHour = def.DropPerHour
+	}
+	if cfg.CostPerMB == 0 {
+		cfg.CostPerMB = def.CostPerMB
+	}
+	g := &GPRS{sim: sim, ctrl: ctrl, wx: wx, name: name, cfg: cfg}
+	g.cost.perMB = cfg.CostPerMB
+	ctrl.DefineRail(GPRSRail, cfg.PowerW)
+	ctrl.OnRail(GPRSRail, func(on bool, _ time.Time) {
+		g.powered = on
+		if !on {
+			g.attached = false
+		}
+	})
+	return g
+}
+
+// Name returns the modem name.
+func (g *GPRS) Name() string { return g.name }
+
+// Powered reports whether the modem rail is up.
+func (g *GPRS) Powered() bool { return g.powered }
+
+// Attached reports whether a data session is up.
+func (g *GPRS) Attached() bool { return g.attached }
+
+// RateBps returns the configured payload rate.
+func (g *GPRS) RateBps() float64 { return g.cfg.RateBps }
+
+// AttachTime returns the network attach latency.
+func (g *GPRS) AttachTime() time.Duration { return g.cfg.AttachTime }
+
+// BytesSent returns the lifetime metered volume.
+func (g *GPRS) BytesSent() int64 { return g.cost.bytes }
+
+// CostAccrued returns the lifetime data cost at the configured tariff.
+func (g *GPRS) CostAccrued() float64 { return g.cost.accrued }
+
+// Drops returns the number of mid-transfer drops.
+func (g *GPRS) Drops() uint64 { return g.drops }
+
+// AttachFailures returns how many attach attempts found no signal.
+func (g *GPRS) AttachFailures() uint64 { return g.attachFailures }
+
+// SignalAvailable reports whether the cell network is usable at now. The
+// outage pattern is deterministic per (seed, day): a bad day is bad for
+// every attempt, which is how the real failures behaved (a wet antenna is
+// wet all day).
+func (g *GPRS) SignalAvailable(now time.Time) bool {
+	day := uint64(now.Unix() / 86400)
+	p := g.cfg.BaseOutageP
+	if g.wx != nil {
+		p += g.cfg.WetOutageP * g.wx.MeltIndex(now)
+	}
+	return hashNoise(g.sim.Seed(), "gprs-outage-"+g.name, day) >= p
+}
+
+// Attach attempts to bring up the data session. The modem must be powered.
+// Returns ErrNoSignal on an outage day.
+func (g *GPRS) Attach(now time.Time) error {
+	if !g.powered {
+		return errUnpowered(g.name)
+	}
+	g.attachAttempts++
+	if !g.SignalAvailable(now) {
+		g.attachFailures++
+		return ErrNoSignal
+	}
+	g.attached = true
+	return nil
+}
+
+// Detach tears the session down (the radio can then be switched off).
+func (g *GPRS) Detach() { g.attached = false }
+
+// TransferTime returns the wire time for n payload bytes.
+func (g *GPRS) TransferTime(n int64) time.Duration {
+	return transferTime(n, g.cfg.RateBps, g.cfg.Overhead)
+}
+
+// TryTransfer attempts to move n payload bytes over the attached session.
+// On a mid-transfer drop, Sent and Elapsed reflect the partial progress and
+// the session is detached. Metered cost accrues on bytes actually sent.
+func (g *GPRS) TryTransfer(now time.Time, n int64) TransferResult {
+	if !g.powered || !g.attached {
+		return TransferResult{Err: errUnpowered(g.name)}
+	}
+	full := g.TransferTime(n)
+	// Drop probability grows with time on air.
+	pDrop := g.cfg.DropPerHour * full.Hours()
+	if pDrop > 0.90 {
+		pDrop = 0.90
+	}
+	key := uint64(now.UnixNano()) ^ uint64(n)
+	if hashNoise(g.sim.Seed(), "gprs-drop-"+g.name, key) < pDrop {
+		// Dropped partway: uniform fraction of progress.
+		frac := hashNoise(g.sim.Seed(), "gprs-dropfrac-"+g.name, key)
+		sent := int64(float64(n) * frac)
+		g.cost.add(sent)
+		g.drops++
+		g.attached = false
+		return TransferResult{
+			Sent:    sent,
+			Elapsed: time.Duration(float64(full) * frac),
+			Err:     ErrDropped,
+		}
+	}
+	g.cost.add(n)
+	return TransferResult{Sent: n, Elapsed: full}
+}
+
+func errUnpowered(name string) error {
+	return &NotReadyError{Device: name}
+}
+
+// NotReadyError reports an operation on an unpowered or unattached device.
+type NotReadyError struct {
+	// Device is the device name.
+	Device string
+}
+
+func (e *NotReadyError) Error() string {
+	return "comms: " + e.Device + " not powered/attached"
+}

@@ -1,0 +1,131 @@
+package comms
+
+import (
+	"time"
+
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+// ProbeRadioRail is the MCU rail powering the base station's probe
+// transceiver.
+const ProbeRadioRail = "proberadio"
+
+// ProbeRadioPowerW is the transceiver draw while powered.
+const ProbeRadioPowerW = 0.5
+
+// ProbeRadioConfig parameterises the base-station ↔ sub-glacial-probe
+// channel. The key seasonal behaviour from §III/§V: "radio communication
+// with the probes is better in the winter due to the drier ice conditions";
+// in summer, water in the ice raised loss to roughly 400 missed packets in
+// 3000 (≈13 %).
+type ProbeRadioConfig struct {
+	// RateBps is the payload rate through 70 m of ice.
+	RateBps float64
+	// Overhead is framing overhead per packet.
+	Overhead float64
+	// WinterLossP is the per-packet loss probability in dry winter ice.
+	WinterLossP float64
+	// SummerLossP is the additional loss at full melt.
+	SummerLossP float64
+	// RTT is the command/response turnaround latency.
+	RTT time.Duration
+}
+
+// DefaultProbeRadioConfig returns the deployment values: winter ~2.5 % loss
+// rising to ~13.5 % at the height of the melt season.
+func DefaultProbeRadioConfig() ProbeRadioConfig {
+	return ProbeRadioConfig{
+		RateBps:     2400,
+		Overhead:    0.25,
+		WinterLossP: 0.025,
+		SummerLossP: 0.11,
+		RTT:         250 * time.Millisecond,
+	}
+}
+
+// ProbeChannel is the shared radio medium between a base station and its
+// sub-glacial probes.
+type ProbeChannel struct {
+	sim *simenv.Simulator
+	wx  *weather.Model
+	cfg ProbeRadioConfig
+
+	seq       uint64
+	sent      uint64
+	lost      uint64
+	bytesSent int64
+}
+
+// NewProbeChannel constructs the channel; wx may be nil for a season-less
+// channel at winter loss rates.
+func NewProbeChannel(sim *simenv.Simulator, wx *weather.Model, cfg ProbeRadioConfig) *ProbeChannel {
+	def := DefaultProbeRadioConfig()
+	if cfg.RateBps == 0 {
+		cfg.RateBps = def.RateBps
+	}
+	if cfg.Overhead == 0 {
+		cfg.Overhead = def.Overhead
+	}
+	if cfg.WinterLossP == 0 {
+		cfg.WinterLossP = def.WinterLossP
+	}
+	if cfg.SummerLossP == 0 {
+		cfg.SummerLossP = def.SummerLossP
+	}
+	if cfg.RTT == 0 {
+		cfg.RTT = def.RTT
+	}
+	return &ProbeChannel{sim: sim, wx: wx, cfg: cfg}
+}
+
+// LossRate returns the per-packet loss probability at now.
+func (c *ProbeChannel) LossRate(now time.Time) float64 {
+	p := c.cfg.WinterLossP
+	if c.wx != nil {
+		p += c.cfg.SummerLossP * c.wx.MeltIndex(now)
+	}
+	return clamp01(p)
+}
+
+// RTT returns the command/response turnaround latency.
+func (c *ProbeChannel) RTT() time.Duration { return c.cfg.RTT }
+
+// PacketAirtime returns the wire time of a packet of n bytes.
+func (c *ProbeChannel) PacketAirtime(n int) time.Duration {
+	return transferTime(int64(n), c.cfg.RateBps, c.cfg.Overhead)
+}
+
+// Send transmits one packet of n bytes at now and reports whether it
+// arrived. Loss draws are deterministic in (seed, sequence number).
+func (c *ProbeChannel) Send(now time.Time, n int) bool {
+	c.seq++
+	c.sent++
+	c.bytesSent += int64(n)
+	if hashNoise(c.sim.Seed(), "probe-loss", c.seq) < c.LossRate(now) {
+		c.lost++
+		return false
+	}
+	return true
+}
+
+// Stats returns lifetime packet counts: sent, lost, and payload bytes.
+func (c *ProbeChannel) Stats() (sent, lost uint64, bytes int64) {
+	return c.sent, c.lost, c.bytesSent
+}
+
+// WiredProbeLink is the serial link to the wired probe — the single point
+// of failure whose loss §V describes (months offline until repair). It has
+// no loss process; it either works or has failed outright.
+type WiredProbeLink struct {
+	failed bool
+}
+
+// Fail marks the cable broken (deep-snow damage in the deployment).
+func (w *WiredProbeLink) Fail() { w.failed = true }
+
+// Repair restores the cable (the field visit).
+func (w *WiredProbeLink) Repair() { w.failed = false }
+
+// OK reports whether the cable works.
+func (w *WiredProbeLink) OK() bool { return !w.failed }

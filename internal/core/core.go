@@ -1,0 +1,143 @@
+// Package core assembles a Gumsense node: the dual-processor platform the
+// paper contributes, combining "an ARM-based Linux system with an MSP430
+// for sensing and power-control".
+//
+// A Node wires together one battery bank and its chargers, the power bus,
+// the MSP430 controller, the Gumstix host, a dGPS unit and a GPRS modem —
+// everything a Glacsweb station is built from. The station runtime in
+// internal/station drives a Node through the paper's daily schedule; the
+// examples and benchmarks construct Nodes directly for focused scenarios.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comms"
+	"repro/internal/energy"
+	"repro/internal/hw/dgps"
+	"repro/internal/hw/gumstix"
+	"repro/internal/hw/mcu"
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+// NodeConfig parameterises a Gumsense node.
+type NodeConfig struct {
+	// Name prefixes everything the node registers on the simulator.
+	Name string
+	// Battery configures the bank; zero value gets the 36 Ah default.
+	Battery energy.BatteryConfig
+	// Chargers are the external power inputs (solar, wind, mains).
+	Chargers []energy.Charger
+	// Bus configures integration and brown-out thresholds.
+	Bus energy.BusConfig
+	// MCU configures the MSP430.
+	MCU mcu.Config
+	// GPRS configures the modem; zero value gets Table I defaults.
+	GPRS comms.GPRSConfig
+}
+
+// BaseStationConfig returns the base-station hardware fit: 10 W solar,
+// 50 W wind, 36 Ah bank.
+func BaseStationConfig(name string) NodeConfig {
+	return NodeConfig{
+		Name:     name,
+		Battery:  energy.DefaultBatteryConfig(),
+		Chargers: []energy.Charger{energy.NewSolarPanel(10), energy.NewWindTurbine(50)},
+		MCU:      mcu.DefaultConfig(name + ".mcu"),
+		GPRS:     comms.DefaultGPRSConfig(),
+	}
+}
+
+// ReferenceStationConfig returns the reference-station fit: solar panel
+// plus the café mains charger that is only live April–September.
+func ReferenceStationConfig(name string) NodeConfig {
+	return NodeConfig{
+		Name:     name,
+		Battery:  energy.DefaultBatteryConfig(),
+		Chargers: []energy.Charger{energy.NewSolarPanel(20), energy.NewMainsCharger(60)},
+		MCU:      mcu.DefaultConfig(name + ".mcu"),
+		GPRS:     comms.DefaultGPRSConfig(),
+	}
+}
+
+// Node is one assembled Gumsense platform.
+type Node struct {
+	// Name identifies the node.
+	Name string
+	// Sim is the simulator everything runs on.
+	Sim *simenv.Simulator
+	// WX is the site weather (may be nil in bench rigs).
+	WX *weather.Model
+	// Battery is the bank.
+	Battery *energy.Battery
+	// Bus is the power bus.
+	Bus *energy.Bus
+	// MCU is the MSP430.
+	MCU *mcu.MCU
+	// Host is the Gumstix.
+	Host *gumstix.Host
+	// GPS is the dGPS unit.
+	GPS *dgps.Unit
+	// Modem is the GPRS modem.
+	Modem *comms.GPRS
+}
+
+// NewNode builds and wires a node on the simulator.
+func NewNode(sim *simenv.Simulator, wx *weather.Model, cfg NodeConfig) *Node {
+	if cfg.Name == "" {
+		panic("core: node needs a name")
+	}
+	if cfg.MCU.Name == "" {
+		cfg.MCU.Name = cfg.Name + ".mcu"
+	}
+	var sampler energy.Sampler
+	if wx != nil {
+		sampler = wx
+	}
+	bat := energy.NewBattery(cfg.Battery)
+	bus := energy.NewBus(sim, bat, cfg.Chargers, sampler, cfg.Bus)
+	ctrl := mcu.New(sim, bus, sampler, cfg.MCU)
+	host := gumstix.New(sim, ctrl, cfg.Name+".gumstix")
+	gps := dgps.New(sim, ctrl, wx, cfg.Name+".gps")
+	modem := comms.NewGPRS(sim, ctrl, wx, cfg.Name+".gprs", cfg.GPRS)
+	return &Node{
+		Name:    cfg.Name,
+		Sim:     sim,
+		WX:      wx,
+		Battery: bat,
+		Bus:     bus,
+		MCU:     ctrl,
+		Host:    host,
+		GPS:     gps,
+		Modem:   modem,
+	}
+}
+
+// String summarises the node for logs.
+func (n *Node) String() string {
+	return fmt.Sprintf("node %s: soc=%.2f gumstix=%v gps=%v gprs=%v",
+		n.Name, n.Battery.SoC(), n.Host.Powered(), n.GPS.Powered(), n.Modem.Powered())
+}
+
+// Snapshot captures the node's electrical state for traces.
+type Snapshot struct {
+	// SoC is the battery state of charge.
+	SoC float64
+	// Volts is the terminal voltage under present load.
+	Volts float64
+	// LoadW is the total draw.
+	LoadW float64
+	// ChargeW is the charger input.
+	ChargeW float64
+}
+
+// Snapshot returns the current electrical state.
+func (n *Node) Snapshot() Snapshot {
+	return Snapshot{
+		SoC:     n.Battery.SoC(),
+		Volts:   n.Bus.VoltageNow(),
+		LoadW:   n.Bus.TotalLoadW(),
+		ChargeW: n.Bus.ChargeW(),
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/hw/dgps"
+	"repro/internal/hw/gumstix"
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+func TestNewNodeWiresEverything(t *testing.T) {
+	sim := simenv.New(1)
+	wx := weather.New(weather.DefaultConfig(1))
+	n := NewNode(sim, wx, BaseStationConfig("base"))
+	if n.Battery == nil || n.Bus == nil || n.MCU == nil || n.Host == nil || n.GPS == nil || n.Modem == nil {
+		t.Fatalf("node incompletely wired: %+v", n)
+	}
+	if !n.MCU.Alive() {
+		t.Fatal("MCU not alive after construction")
+	}
+}
+
+func TestNodeRailsControlPeripherals(t *testing.T) {
+	sim := simenv.New(1)
+	n := NewNode(sim, nil, BaseStationConfig("base"))
+	n.MCU.SetRail(gumstix.Rail, true)
+	if err := sim.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Host.Powered() {
+		t.Fatal("gumstix rail did not power the host")
+	}
+	n.MCU.SetRail(dgps.Rail, true)
+	if !n.GPS.Powered() {
+		t.Fatal("gps rail did not power the unit")
+	}
+	n.MCU.SetRail(comms.GPRSRail, true)
+	if !n.Modem.Powered() {
+		t.Fatal("gprs rail did not power the modem")
+	}
+}
+
+func TestNodeSleepDrawIsTiny(t *testing.T) {
+	// The whole point of the platform: everything off, the node draws
+	// almost nothing.
+	sim := simenv.New(1)
+	n := NewNode(sim, nil, BaseStationConfig("base"))
+	if err := sim.RunFor(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	drawn := n.Bus.TotalConsumedWh()
+	if drawn > 0.5 { // 3 mW × 24 h ≈ 0.07 Wh
+		t.Fatalf("sleeping node drew %v Wh in a day", drawn)
+	}
+}
+
+func TestNodePoweredDayDrawsTableIPower(t *testing.T) {
+	sim := simenv.New(1)
+	n := NewNode(sim, nil, BaseStationConfig("base"))
+	n.MCU.SetRail(gumstix.Rail, true)
+	if err := sim.RunFor(10 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Bus.ConsumedWh("base.mcu.rail." + gumstix.Rail)
+	if got < 8.5 || got > 9.5 { // 0.9 W × 10 h
+		t.Fatalf("gumstix drew %v Wh in 10 h, want ~9 (Table I 900 mW)", got)
+	}
+}
+
+func TestReferenceConfigHasMains(t *testing.T) {
+	cfg := ReferenceStationConfig("ref")
+	foundMains := false
+	for _, c := range cfg.Chargers {
+		if c.Name() == "mains" {
+			foundMains = true
+		}
+	}
+	if !foundMains {
+		t.Fatal("reference station lacks the café mains charger")
+	}
+	cfgB := BaseStationConfig("base")
+	for _, c := range cfgB.Chargers {
+		if c.Name() == "mains" {
+			t.Fatal("base station has a mains charger on a glacier")
+		}
+	}
+}
+
+func TestSnapshotPlausible(t *testing.T) {
+	sim := simenv.New(1)
+	wx := weather.New(weather.DefaultConfig(1))
+	n := NewNode(sim, wx, BaseStationConfig("base"))
+	if err := sim.RunFor(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Snapshot()
+	if s.SoC <= 0 || s.SoC > 1 {
+		t.Fatalf("SoC %v", s.SoC)
+	}
+	if s.Volts < 11 || s.Volts > 15 {
+		t.Fatalf("Volts %v", s.Volts)
+	}
+	if s.LoadW < 0 {
+		t.Fatalf("LoadW %v", s.LoadW)
+	}
+}
+
+func TestNodeNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty node name")
+		}
+	}()
+	NewNode(simenv.New(1), nil, NodeConfig{})
+}
+
+func TestNodeStringer(t *testing.T) {
+	sim := simenv.New(1)
+	n := NewNode(sim, nil, BaseStationConfig("base"))
+	if s := n.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,128 @@
+// Package deploy wires a complete Iceland deployment: the Vatnajökull
+// weather, the Southampton server, the on-glacier base station with its
+// sub-glacial probe cohort, and the dGPS reference station at the café —
+// Fig 3's final system architecture, ready to run for simulated months.
+package deploy
+
+import (
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/core"
+	"repro/internal/probe"
+	"repro/internal/server"
+	"repro/internal/simenv"
+	"repro/internal/station"
+	"repro/internal/weather"
+)
+
+// DefaultStart is the deployment scenarios' t0: the 2008 field season.
+var DefaultStart = time.Date(2008, time.September, 1, 0, 0, 0, 0, time.UTC)
+
+// Config parameterises a deployment.
+type Config struct {
+	// Seed drives every stochastic process.
+	Seed int64
+	// Start is the simulation start time; zero means DefaultStart.
+	Start time.Time
+	// NumProbes is the sub-glacial cohort size (the paper deployed 7).
+	NumProbes int
+	// Base configures the base-station runtime.
+	Base station.Config
+	// Reference configures the reference-station runtime.
+	Reference station.Config
+	// Weather overrides the climate; zero value gets the Iceland defaults.
+	Weather weather.Config
+	// ProbeLifetime overrides the probes' mean lifetime (0 = default).
+	ProbeLifetime time.Duration
+}
+
+// DefaultConfig returns the as-deployed system.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		Start:     DefaultStart,
+		NumProbes: 7,
+		Base:      station.DefaultConfig(station.RoleBase),
+		Reference: station.DefaultConfig(station.RoleReference),
+	}
+}
+
+// Deployment is a fully wired simulated field system.
+type Deployment struct {
+	// Sim is the shared simulator.
+	Sim *simenv.Simulator
+	// WX is the site weather.
+	WX *weather.Model
+	// Server is Southampton.
+	Server *server.Server
+	// Base is the on-glacier station.
+	Base *station.Station
+	// Reference is the café station.
+	Reference *station.Station
+	// Probes is the sub-glacial cohort.
+	Probes []*probe.Probe
+	// Channel is the probe radio medium.
+	Channel *comms.ProbeChannel
+}
+
+// New wires a deployment.
+func New(cfg Config) *Deployment {
+	if cfg.Start.IsZero() {
+		cfg.Start = DefaultStart
+	}
+	if cfg.NumProbes == 0 {
+		cfg.NumProbes = 7
+	}
+	if cfg.Base.Role == 0 {
+		cfg.Base = station.DefaultConfig(station.RoleBase)
+	}
+	if cfg.Reference.Role == 0 {
+		cfg.Reference = station.DefaultConfig(station.RoleReference)
+	}
+	wcfg := cfg.Weather
+	if wcfg.Seed == 0 {
+		wcfg.Seed = cfg.Seed
+	}
+
+	sim := simenv.NewAt(cfg.Seed, cfg.Start)
+	wx := weather.New(wcfg)
+	srv := server.New()
+
+	// Probe cohort: IDs follow the paper's numbering (21, 22, ...).
+	channel := comms.NewProbeChannel(sim, wx, comms.ProbeRadioConfig{})
+	probes := make([]*probe.Probe, 0, cfg.NumProbes)
+	for i := 0; i < cfg.NumProbes; i++ {
+		pcfg := probe.DefaultConfig(21 + i)
+		if cfg.ProbeLifetime != 0 {
+			pcfg.MeanLifetime = cfg.ProbeLifetime
+		}
+		probes = append(probes, probe.New(sim, wx, pcfg))
+	}
+
+	baseNode := core.NewNode(sim, wx, core.BaseStationConfig("base"))
+	refNode := core.NewNode(sim, wx, core.ReferenceStationConfig("ref"))
+
+	base := station.New(baseNode, srv, channel, probes, cfg.Base)
+	ref := station.New(refNode, srv, nil, nil, cfg.Reference)
+
+	return &Deployment{
+		Sim:       sim,
+		WX:        wx,
+		Server:    srv,
+		Base:      base,
+		Reference: ref,
+		Probes:    probes,
+		Channel:   channel,
+	}
+}
+
+// RunDays advances the deployment by whole days.
+func (d *Deployment) RunDays(days int) error {
+	return d.Sim.RunFor(time.Duration(days) * 24 * time.Hour)
+}
+
+// RunUntil advances the deployment to an absolute time.
+func (d *Deployment) RunUntil(t time.Time) error {
+	return d.Sim.Run(t)
+}

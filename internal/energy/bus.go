@@ -1,0 +1,225 @@
+package energy
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+// Sampler yields weather conditions; satisfied by *weather.Model.
+type Sampler interface {
+	Sample(ts time.Time) weather.Conditions
+}
+
+// BusConfig parameterises a station power bus.
+type BusConfig struct {
+	// Tick is the integration step; charger output is re-sampled each tick.
+	Tick time.Duration
+	// BrownoutVolts is the rest voltage below which the bus declares total
+	// power failure (the MSP430 loses its RAM schedule and RTC).
+	BrownoutVolts float64
+	// RecoverVolts is the rest voltage at which a failed bus comes back.
+	RecoverVolts float64
+}
+
+// DefaultBusConfig returns the configuration used by the deployment
+// scenarios.
+func DefaultBusConfig() BusConfig {
+	return BusConfig{
+		Tick:          5 * time.Minute,
+		BrownoutVolts: 10.9,
+		RecoverVolts:  11.9,
+	}
+}
+
+// Bus ties a battery, a set of chargers and a set of named switched loads
+// together on the simulator. Loads are expressed in watts and integrated
+// lazily: energy book-keeping happens whenever a load changes or on the
+// periodic tick, whichever comes first.
+type Bus struct {
+	sim     *simenv.Simulator
+	battery *Battery
+	weather Sampler
+	cfg     BusConfig
+
+	loads      map[string]float64
+	consumedWh map[string]float64
+	lastUpdate time.Time
+	failed     bool
+	failCount  int
+
+	onFail    []func(now time.Time)
+	onRestore []func(now time.Time)
+	chargers  []Charger
+	ticker    *simenv.Ticker
+}
+
+// NewBus constructs and starts a bus. The bus immediately begins its
+// integration ticker on sim.
+func NewBus(sim *simenv.Simulator, battery *Battery, chargers []Charger, sampler Sampler, cfg BusConfig) *Bus {
+	def := DefaultBusConfig()
+	if cfg.Tick == 0 {
+		cfg.Tick = def.Tick
+	}
+	if cfg.BrownoutVolts == 0 {
+		cfg.BrownoutVolts = def.BrownoutVolts
+	}
+	if cfg.RecoverVolts == 0 {
+		cfg.RecoverVolts = def.RecoverVolts
+	}
+	b := &Bus{
+		sim:        sim,
+		battery:    battery,
+		weather:    sampler,
+		cfg:        cfg,
+		loads:      make(map[string]float64),
+		consumedWh: make(map[string]float64),
+		lastUpdate: sim.Now(),
+		chargers:   append([]Charger(nil), chargers...),
+	}
+	b.ticker = sim.Every(sim.Now().Add(cfg.Tick), cfg.Tick, "energy.tick", func(now time.Time) {
+		b.advance(now)
+	})
+	return b
+}
+
+// Stop halts the bus's integration ticker.
+func (b *Bus) Stop() { b.ticker.Stop() }
+
+// Battery returns the attached battery bank.
+func (b *Bus) Battery() *Battery { return b.battery }
+
+// Failed reports whether the bus is currently in total power failure.
+func (b *Bus) Failed() bool { return b.failed }
+
+// FailCount reports how many total power failures have occurred.
+func (b *Bus) FailCount() int { return b.failCount }
+
+// OnPowerFail registers a callback fired once per total depletion.
+func (b *Bus) OnPowerFail(fn func(now time.Time)) { b.onFail = append(b.onFail, fn) }
+
+// OnPowerRestore registers a callback fired once when a failed bus recovers.
+func (b *Bus) OnPowerRestore(fn func(now time.Time)) { b.onRestore = append(b.onRestore, fn) }
+
+// SetLoad sets the instantaneous draw of a named load in watts. A zero
+// wattage removes the load. Setting a load while the bus is failed is
+// ignored — there is no power to supply it.
+func (b *Bus) SetLoad(name string, watts float64) {
+	b.advance(b.sim.Now())
+	if b.failed {
+		return
+	}
+	if watts <= 0 {
+		delete(b.loads, name)
+		return
+	}
+	b.loads[name] = watts
+}
+
+// Load returns the current draw of a named load in watts.
+func (b *Bus) Load(name string) float64 { return b.loads[name] }
+
+// TotalLoadW returns the current total draw in watts.
+func (b *Bus) TotalLoadW() float64 {
+	var sum float64
+	for _, w := range b.loads {
+		sum += w
+	}
+	return sum
+}
+
+// ChargeW returns the charger output at the current instant.
+func (b *Bus) ChargeW() float64 {
+	return b.chargeAt(b.sim.Now())
+}
+
+// VoltageNow returns the terminal voltage under the present load and charge;
+// this is what the MSP430's ADC samples every 30 minutes.
+func (b *Bus) VoltageNow() float64 {
+	b.advance(b.sim.Now())
+	return b.battery.TerminalVoltage(b.TotalLoadW(), b.chargeAt(b.sim.Now()))
+}
+
+// ConsumedWh returns the lifetime energy attributed to a named load.
+func (b *Bus) ConsumedWh(name string) float64 { return b.consumedWh[name] }
+
+// TotalConsumedWh returns lifetime energy across all loads.
+func (b *Bus) TotalConsumedWh() float64 {
+	var sum float64
+	for _, wh := range b.consumedWh {
+		sum += wh
+	}
+	return sum
+}
+
+// Ledger returns the per-load lifetime energy ledger sorted by name.
+func (b *Bus) Ledger() []LedgerEntry {
+	entries := make([]LedgerEntry, 0, len(b.consumedWh))
+	for name, wh := range b.consumedWh {
+		entries = append(entries, LedgerEntry{Name: name, ConsumedWh: wh})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries
+}
+
+// LedgerEntry is one row of the per-load energy ledger.
+type LedgerEntry struct {
+	Name       string
+	ConsumedWh float64
+}
+
+func (b *Bus) chargeAt(ts time.Time) float64 {
+	if b.weather == nil || len(b.chargers) == 0 {
+		return 0
+	}
+	cond := b.weather.Sample(ts)
+	doy := simenv.DayOfYear(ts)
+	for _, c := range b.chargers {
+		if mc, ok := c.(*MainsCharger); ok {
+			mc.SetDayOfYear(doy)
+		}
+	}
+	return CombinedOutputW(b.chargers, cond)
+}
+
+// advance integrates energy from lastUpdate to now.
+func (b *Bus) advance(now time.Time) {
+	dt := now.Sub(b.lastUpdate)
+	if dt <= 0 {
+		return
+	}
+	hours := dt.Hours()
+	b.lastUpdate = now
+
+	chargeW := b.chargeAt(now)
+	loadW := b.TotalLoadW()
+	if b.failed {
+		loadW = 0
+	}
+	delivered := b.battery.Transfer(loadW, chargeW, hours)
+
+	// Attribute delivered energy to loads pro rata.
+	if loadW > 0 && delivered > 0 {
+		for name, w := range b.loads {
+			b.consumedWh[name] += delivered * (w / loadW)
+		}
+	}
+
+	rest := b.battery.RestVoltage()
+	switch {
+	case !b.failed && (b.battery.Depleted() || rest < b.cfg.BrownoutVolts):
+		b.failed = true
+		b.failCount++
+		b.loads = make(map[string]float64) // everything loses power
+		for _, fn := range b.onFail {
+			fn(now)
+		}
+	case b.failed && rest >= b.cfg.RecoverVolts:
+		b.failed = false
+		for _, fn := range b.onRestore {
+			fn(now)
+		}
+	}
+}

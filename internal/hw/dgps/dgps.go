@@ -1,0 +1,226 @@
+// Package dgps simulates a differential-GPS receiver of the class deployed
+// by Glacsweb: a survey-grade unit with its own compact-flash card, powered
+// through an MSP430-switched rail, configured to start recording a reading
+// automatically whenever it is turned on (§II of the paper — this is what
+// lets the microcontroller rather than Linux own dGPS timing).
+//
+// A reading is ~165 KB, varying with the number of visible satellites, and
+// lands on the unit's internal CF card; the Gumstix later drains files over
+// a slow RS-232 link. The unit doubles as the station's time source: a GPS
+// time fix is available shortly after power-up, unless weather blocks the
+// sky view.
+package dgps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw/mcu"
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+// Rail is the MCU power-rail name conventionally used for the dGPS.
+const Rail = "gps"
+
+// PowerW is the unit's draw while powered (Table I: 3600 mW).
+const PowerW = 3.6
+
+// ReadingDuration is the observation time for one dGPS reading. Twelve
+// five-minute readings per day give the 1 h/day duty cycle behind the
+// paper's 117-day state-3 lifetime figure.
+const ReadingDuration = 5 * time.Minute
+
+// BaseReadingBytes is the nominal size of one reading file ("approximately
+// 165KB, although the exact size varies depending on the number of
+// satellites available").
+const BaseReadingBytes = 165 * 1024
+
+// RS232BytesPerSec is the effective drain rate from the unit's internal CF
+// card to the Gumstix (57600 baud line rate less framing ≈ 5.76 KB/s). At
+// this rate a two-hour window drains ~21 state-3 days or ~259 state-2 days
+// of backlog — the two thresholds §VI derives.
+const RS232BytesPerSec = 5760
+
+// TimeFixDelay is power-up to usable GPS time.
+const TimeFixDelay = 45 * time.Second
+
+// File is one recorded reading on the unit's internal CF card.
+type File struct {
+	// ID is a unique sequence number on this unit.
+	ID uint64
+	// Recorded is the true (GPS) time the reading completed.
+	Recorded time.Time
+	// SizeBytes is the file size.
+	SizeBytes int
+	// Satellites is the satellite count during the reading.
+	Satellites int
+}
+
+// TransferTime returns how long draining this file over RS-232 takes at the
+// given healthy-rate fraction (1 = nominal; <1 models an intermittent cable).
+func (f File) TransferTime(rateFraction float64) time.Duration {
+	if rateFraction <= 0 {
+		rateFraction = 1e-9
+	}
+	secs := float64(f.SizeBytes) / (RS232BytesPerSec * rateFraction)
+	const maxSecs = 100 * 365 * 24 * 3600 // clamp far beyond any window
+	if secs > maxSecs {
+		secs = maxSecs
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Unit is a simulated dGPS receiver.
+type Unit struct {
+	sim     *simenv.Simulator
+	ctrl    *mcu.MCU
+	wx      *weather.Model
+	name    string
+	powered bool
+
+	files     []File
+	nextID    uint64
+	readEv    simenv.EventID
+	reading   bool
+	readings  uint64
+	fixFails  uint64
+	salt      int64
+	onReading []func(f File)
+}
+
+// New constructs a unit bound to the MCU's gps rail (defining the rail).
+// wx may be nil, in which case time fixes always succeed.
+func New(sim *simenv.Simulator, ctrl *mcu.MCU, wx *weather.Model, name string) *Unit {
+	u := &Unit{sim: sim, ctrl: ctrl, wx: wx, name: name, salt: sim.Seed()}
+	ctrl.DefineRail(Rail, PowerW)
+	ctrl.OnRail(Rail, u.railChanged)
+	return u
+}
+
+// Name returns the unit name.
+func (u *Unit) Name() string { return u.name }
+
+// Powered reports whether the unit has power.
+func (u *Unit) Powered() bool { return u.powered }
+
+// Readings reports how many readings have completed over the unit's life.
+func (u *Unit) Readings() uint64 { return u.readings }
+
+// OnReading registers a callback fired as each reading file is recorded.
+func (u *Unit) OnReading(fn func(f File)) { u.onReading = append(u.onReading, fn) }
+
+func (u *Unit) railChanged(on bool, now time.Time) {
+	if on == u.powered {
+		return
+	}
+	u.powered = on
+	if on {
+		// Auto-start recording on power-up; keep recording back-to-back
+		// while powered (continuous mode is just "left switched on").
+		u.startReading(now)
+		return
+	}
+	// Power removed mid-reading: the partial observation is discarded.
+	if u.reading {
+		u.sim.Cancel(u.readEv)
+		u.reading = false
+	}
+}
+
+func (u *Unit) startReading(now time.Time) {
+	u.reading = true
+	u.readEv = u.sim.After(ReadingDuration, u.name+".reading", func(doneNow time.Time) {
+		if !u.powered {
+			return
+		}
+		u.reading = false
+		u.recordFile(doneNow)
+		u.startReading(doneNow) // continuous until switched off
+	})
+}
+
+func (u *Unit) recordFile(now time.Time) {
+	sats := 6 + int(u.noise("sats", u.nextID)*8) // 6..13 satellites
+	size := int(float64(BaseReadingBytes) * (0.70 + 0.04*float64(sats)))
+	f := File{ID: u.nextID, Recorded: now, SizeBytes: size, Satellites: sats}
+	u.nextID++
+	u.readings++
+	u.files = append(u.files, f)
+	for _, fn := range u.onReading {
+		fn(f)
+	}
+}
+
+// Files returns a copy of the internal CF card's file list, oldest first.
+func (u *Unit) Files() []File {
+	out := make([]File, len(u.files))
+	copy(out, u.files)
+	return out
+}
+
+// FileCount returns the number of files on the internal CF card.
+func (u *Unit) FileCount() int { return len(u.files) }
+
+// BacklogBytes returns the total size of undrained files.
+func (u *Unit) BacklogBytes() int64 {
+	var n int64
+	for _, f := range u.files {
+		n += int64(f.SizeBytes)
+	}
+	return n
+}
+
+// Delete removes a drained file from the internal CF card.
+func (u *Unit) Delete(id uint64) error {
+	for i, f := range u.files {
+		if f.ID == id {
+			u.files = append(u.files[:i], u.files[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("dgps %s: no file %d on CF card", u.name, id)
+}
+
+// InjectBacklog records n synthetic historical files directly onto the CF
+// card; used by the watchdog-backlog experiments.
+func (u *Unit) InjectBacklog(n int, at time.Time) {
+	for i := 0; i < n; i++ {
+		u.recordFile(at)
+	}
+}
+
+// TimeFix attempts a GPS time fix. The unit must be powered and have been up
+// for at least TimeFixDelay (callers schedule around this). A fix fails
+// under storms, under deep antenna-burying snow, or with a small background
+// probability; failures are deterministic in (seed, day).
+func (u *Unit) TimeFix(now time.Time) (time.Time, error) {
+	if !u.powered {
+		return time.Time{}, fmt.Errorf("dgps %s: time fix requested while unpowered", u.name)
+	}
+	day := uint64(now.Unix() / 86400)
+	if u.wx != nil {
+		c := u.wx.Sample(now)
+		if c.Storm {
+			u.fixFails++
+			return time.Time{}, fmt.Errorf("dgps %s: no satellite lock (storm)", u.name)
+		}
+		if c.SnowDepthM > 2.3 {
+			u.fixFails++
+			return time.Time{}, fmt.Errorf("dgps %s: no satellite lock (antenna buried, %.1fm snow)", u.name, c.SnowDepthM)
+		}
+	}
+	if u.noise("fixfail", day) < 0.05 {
+		u.fixFails++
+		return time.Time{}, fmt.Errorf("dgps %s: no satellite lock (poor geometry)", u.name)
+	}
+	// GPS time is ground truth: the simulator's wall clock.
+	return u.sim.Now(), nil
+}
+
+// FixFailures reports how many time fixes have failed.
+func (u *Unit) FixFailures() uint64 { return u.fixFails }
+
+func (u *Unit) noise(tag string, k uint64) float64 {
+	return simenv.HashNoise(u.salt, tag+"/"+u.name, k)
+}

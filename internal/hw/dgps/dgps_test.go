@@ -1,0 +1,230 @@
+package dgps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/hw/mcu"
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+func newRig(t *testing.T, wx *weather.Model) (*simenv.Simulator, *mcu.MCU, *Unit) {
+	t.Helper()
+	sim := simenv.New(1)
+	bat := energy.NewBattery(energy.BatteryConfig{CapacityAh: 500, InitialSoC: 1})
+	var sampler energy.Sampler
+	if wx != nil {
+		sampler = wx
+	}
+	bus := energy.NewBus(sim, bat, nil, sampler, energy.BusConfig{})
+	ctrl := mcu.New(sim, bus, sampler, mcu.DefaultConfig("mcu"))
+	u := New(sim, ctrl, wx, "ref-gps")
+	return sim, ctrl, u
+}
+
+func TestAutoRecordOnPowerUp(t *testing.T) {
+	sim, ctrl, u := newRig(t, nil)
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(ReadingDuration + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if u.FileCount() < 1 {
+		t.Fatal("no reading recorded after one reading duration")
+	}
+}
+
+func TestContinuousReadingsWhilePowered(t *testing.T) {
+	sim, ctrl, u := newRig(t, nil)
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if n := u.FileCount(); n != 12 { // 60 / 5 min
+		t.Fatalf("%d files after 1h continuous, want 12", n)
+	}
+}
+
+func TestPowerOffStopsRecording(t *testing.T) {
+	sim, ctrl, u := newRig(t, nil)
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(ReadingDuration + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetRail(Rail, false)
+	n := u.FileCount()
+	if err := sim.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if u.FileCount() != n {
+		t.Fatalf("files appeared while unpowered: %d -> %d", n, u.FileCount())
+	}
+}
+
+func TestPartialReadingDiscardedOnPowerCut(t *testing.T) {
+	sim, ctrl, u := newRig(t, nil)
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(2 * time.Minute); err != nil { // mid-reading
+		t.Fatal(err)
+	}
+	ctrl.SetRail(Rail, false)
+	if err := sim.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if u.FileCount() != 0 {
+		t.Fatalf("partial reading produced a file")
+	}
+}
+
+func TestFileSizesNearPaperValue(t *testing.T) {
+	sim, ctrl, u := newRig(t, nil)
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(5 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	files := u.Files()
+	if len(files) < 50 {
+		t.Fatalf("only %d files", len(files))
+	}
+	var sum float64
+	varies := false
+	for _, f := range files {
+		sum += float64(f.SizeBytes)
+		if f.SizeBytes != files[0].SizeBytes {
+			varies = true
+		}
+		if f.Satellites < 6 || f.Satellites > 13 {
+			t.Fatalf("satellite count %d out of range", f.Satellites)
+		}
+	}
+	mean := sum / float64(len(files))
+	if mean < 140*1024 || mean > 190*1024 {
+		t.Fatalf("mean reading size %.0f B, paper says ~165 KB", mean)
+	}
+	if !varies {
+		t.Fatal("file size does not vary with satellites")
+	}
+}
+
+func TestDeleteRemovesFile(t *testing.T) {
+	sim, ctrl, u := newRig(t, nil)
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	files := u.Files()
+	if err := u.Delete(files[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if u.FileCount() != len(files)-1 {
+		t.Fatal("delete did not shrink CF card")
+	}
+	if err := u.Delete(files[0].ID); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestTransferTimeMatchesWindowArithmetic(t *testing.T) {
+	// §VI: ~21 days of state-3 readings (12/day) ≈ a full 2 h window.
+	f := File{SizeBytes: BaseReadingBytes}
+	perFile := f.TransferTime(1)
+	total := time.Duration(21*12) * perFile
+	if total < 90*time.Minute || total > 150*time.Minute {
+		t.Fatalf("21 days of state-3 backlog drains in %v, want ≈2 h", total)
+	}
+	// And ~259 days of state-2 readings (1/day) is the same order.
+	total2 := time.Duration(259) * perFile
+	if total2 < 90*time.Minute || total2 > 150*time.Minute {
+		t.Fatalf("259 days of state-2 backlog drains in %v, want ≈2 h", total2)
+	}
+}
+
+func TestDegradedRS232SlowsTransfer(t *testing.T) {
+	f := File{SizeBytes: BaseReadingBytes}
+	if f.TransferTime(0.1) <= f.TransferTime(1) {
+		t.Fatal("degraded link not slower")
+	}
+	if f.TransferTime(0) <= 0 {
+		t.Fatal("zero rate should give a huge duration, not panic or zero")
+	}
+}
+
+func TestTimeFixReturnsTrueTime(t *testing.T) {
+	sim, ctrl, u := newRig(t, nil)
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	got, err := u.TimeFix(sim.Now())
+	if err != nil {
+		t.Fatalf("TimeFix: %v", err)
+	}
+	if !got.Equal(sim.Now()) {
+		t.Fatalf("fix time %v != wall %v", got, sim.Now())
+	}
+}
+
+func TestTimeFixFailsUnpowered(t *testing.T) {
+	sim, _, u := newRig(t, nil)
+	if _, err := u.TimeFix(sim.Now()); err == nil {
+		t.Fatal("fix succeeded while unpowered")
+	}
+}
+
+func TestTimeFixFailsUnderDeepSnowOrStorm(t *testing.T) {
+	wx := weather.New(weather.DefaultConfig(77))
+	sim := simenv.NewAt(77, time.Date(2009, 3, 25, 0, 0, 0, 0, time.UTC))
+	bat := energy.NewBattery(energy.BatteryConfig{CapacityAh: 500, InitialSoC: 1})
+	bus := energy.NewBus(sim, bat, nil, wx, energy.BusConfig{})
+	ctrl := mcu.New(sim, bus, wx, mcu.DefaultConfig("mcu"))
+	u := New(sim, ctrl, wx, "gps")
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c := wx.Sample(sim.Now())
+	_, err := u.TimeFix(sim.Now())
+	if c.SnowDepthM > 2.3 && err == nil {
+		t.Fatal("fix succeeded with antenna buried")
+	}
+	// Whether or not this date is buried under this seed, failures must be
+	// deterministic: same rig, same result.
+	sim2 := simenv.NewAt(77, time.Date(2009, 3, 25, 0, 0, 0, 0, time.UTC))
+	bat2 := energy.NewBattery(energy.BatteryConfig{CapacityAh: 500, InitialSoC: 1})
+	bus2 := energy.NewBus(sim2, bat2, nil, wx, energy.BusConfig{})
+	ctrl2 := mcu.New(sim2, bus2, wx, mcu.DefaultConfig("mcu"))
+	u2 := New(sim2, ctrl2, wx, "gps")
+	ctrl2.SetRail(Rail, true)
+	if err := sim2.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	_, err2 := u2.TimeFix(sim2.Now())
+	if (err == nil) != (err2 == nil) {
+		t.Fatalf("fix determinism broken: %v vs %v", err, err2)
+	}
+}
+
+func TestInjectBacklog(t *testing.T) {
+	sim, _, u := newRig(t, nil)
+	u.InjectBacklog(252, sim.Now()) // 21 days × 12
+	if u.FileCount() != 252 {
+		t.Fatalf("backlog %d, want 252", u.FileCount())
+	}
+	if u.BacklogBytes() < 30*1024*1024 {
+		t.Fatalf("backlog bytes %d implausibly small", u.BacklogBytes())
+	}
+}
+
+func TestOnReadingCallback(t *testing.T) {
+	sim, ctrl, u := newRig(t, nil)
+	var got []File
+	u.OnReading(func(f File) { got = append(got, f) })
+	ctrl.SetRail(Rail, true)
+	if err := sim.RunFor(16 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("callback saw %d readings in 16m, want 3", len(got))
+	}
+}

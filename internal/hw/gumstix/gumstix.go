@@ -1,0 +1,214 @@
+// Package gumstix simulates the ARM Linux half of a Gumsense board.
+//
+// The Gumstix (connex, 400 MHz XScale) provides "a lot of processing power
+// in a small footprint ... at the cost of high power consumption (~100 mA)
+// and no useful sleep mode" — so in the deployment it is only powered when
+// needed, switched by the MSP430. We model it as a serial job executor: it
+// boots some seconds after its rail comes up, then runs queued jobs one at a
+// time, each job occupying simulated time. Cutting the rail mid-job aborts
+// the job and clears the queue, exactly like yanking power from a Linux box.
+package gumstix
+
+import (
+	"time"
+
+	"repro/internal/hw/mcu"
+	"repro/internal/simenv"
+)
+
+// Rail is the MCU power-rail name conventionally used for the Gumstix.
+const Rail = "gumstix"
+
+// PowerW is the Gumstix draw while powered: ~100 mA at a ~9 V converter
+// input ≈ 0.9 W, matching Table I's 900 mW.
+const PowerW = 0.9
+
+// DefaultBootDelay is the time from rail-up to userland ready.
+const DefaultBootDelay = 35 * time.Second
+
+// Job is one unit of work on the host. Duration is evaluated when the job
+// starts (so it can depend on how much data accumulated); Run fires at
+// completion; Abort (optional) fires if power is lost mid-job.
+type Job struct {
+	Name     string
+	Duration func(now time.Time) time.Duration
+	Run      func(now time.Time)
+	Abort    func(now time.Time)
+}
+
+// FixedJob builds a Job with a constant duration.
+func FixedJob(name string, d time.Duration, run func(now time.Time)) Job {
+	return Job{Name: name, Duration: func(time.Time) time.Duration { return d }, Run: run}
+}
+
+// Host is a simulated Gumstix. Construct with New; drive it by switching its
+// MCU rail.
+type Host struct {
+	sim  *simenv.Simulator
+	ctrl *mcu.MCU
+	name string
+
+	powered bool
+	booted  bool
+	boots   int
+	aborts  int
+	done    int
+
+	queue   []Job
+	running bool
+	curEv   simenv.EventID
+	curJob  *Job
+
+	onBoot []func(now time.Time)
+	onHalt []func(now time.Time)
+
+	bootDelay time.Duration
+	uptime    time.Duration
+	upSince   time.Time
+}
+
+// New constructs a Host bound to the MCU's Gumstix rail. The rail must not
+// be defined yet; New defines it with the standard draw.
+func New(sim *simenv.Simulator, ctrl *mcu.MCU, name string) *Host {
+	h := &Host{sim: sim, ctrl: ctrl, name: name, bootDelay: DefaultBootDelay}
+	ctrl.DefineRail(Rail, PowerW)
+	ctrl.OnRail(Rail, h.railChanged)
+	return h
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Powered reports whether the rail is up.
+func (h *Host) Powered() bool { return h.powered }
+
+// Booted reports whether userland is ready.
+func (h *Host) Booted() bool { return h.booted }
+
+// Boots reports how many completed boots have occurred.
+func (h *Host) Boots() int { return h.boots }
+
+// AbortedJobs reports how many jobs were killed by power loss.
+func (h *Host) AbortedJobs() int { return h.aborts }
+
+// CompletedJobs reports how many jobs ran to completion.
+func (h *Host) CompletedJobs() int { return h.done }
+
+// Uptime returns the cumulative powered time.
+func (h *Host) Uptime() time.Duration {
+	u := h.uptime
+	if h.powered {
+		u += h.sim.Now().Sub(h.upSince)
+	}
+	return u
+}
+
+// QueueLen returns the number of jobs waiting (excluding the running job).
+func (h *Host) QueueLen() int { return len(h.queue) }
+
+// OnBoot registers a callback fired each time userland comes up.
+func (h *Host) OnBoot(fn func(now time.Time)) { h.onBoot = append(h.onBoot, fn) }
+
+// OnHalt registers a callback fired each time power is removed.
+func (h *Host) OnHalt(fn func(now time.Time)) { h.onHalt = append(h.onHalt, fn) }
+
+func (h *Host) railChanged(on bool, now time.Time) {
+	if on == h.powered {
+		return
+	}
+	h.powered = on
+	if on {
+		h.upSince = now
+		h.sim.After(h.bootDelay, h.name+".boot", func(bootNow time.Time) {
+			if !h.powered || h.booted {
+				return
+			}
+			h.booted = true
+			h.boots++
+			for _, fn := range h.onBoot {
+				fn(bootNow)
+			}
+			h.pump(bootNow)
+		})
+		return
+	}
+	// Power removed: abort everything.
+	h.uptime += now.Sub(h.upSince)
+	h.booted = false
+	if h.running {
+		h.sim.Cancel(h.curEv)
+		if h.curJob != nil && h.curJob.Abort != nil {
+			h.curJob.Abort(now)
+		}
+		h.aborts++
+		h.running = false
+		h.curJob = nil
+	}
+	h.queue = nil
+	for _, fn := range h.onHalt {
+		fn(now)
+	}
+}
+
+// Enqueue adds a job to the run queue. Jobs enqueued while unbooted wait for
+// boot; enqueueing on an unpowered host is a silent no-op (there is no OS to
+// receive the work), mirroring the real system where work is only submitted
+// by processes already running on the box.
+func (h *Host) Enqueue(j Job) {
+	if !h.powered {
+		return
+	}
+	if j.Duration == nil || j.Run == nil {
+		panic("gumstix: job needs Duration and Run")
+	}
+	h.queue = append(h.queue, j)
+	if h.booted {
+		h.pump(h.sim.Now())
+	}
+}
+
+// EnqueueFront adds a job at the head of the run queue, ahead of
+// already-queued work. Continuation jobs (drain the next file, upload the
+// next item) use this so a processing chain completes before later phases
+// of the daily sequence run.
+func (h *Host) EnqueueFront(j Job) {
+	if !h.powered {
+		return
+	}
+	if j.Duration == nil || j.Run == nil {
+		panic("gumstix: job needs Duration and Run")
+	}
+	h.queue = append([]Job{j}, h.queue...)
+	if h.booted {
+		h.pump(h.sim.Now())
+	}
+}
+
+// Do enqueues a fixed-duration job.
+func (h *Host) Do(name string, d time.Duration, run func(now time.Time)) {
+	h.Enqueue(FixedJob(name, d, run))
+}
+
+func (h *Host) pump(now time.Time) {
+	if h.running || !h.booted || len(h.queue) == 0 {
+		return
+	}
+	j := h.queue[0]
+	h.queue = h.queue[1:]
+	h.running = true
+	h.curJob = &j
+	d := j.Duration(now)
+	if d < 0 {
+		d = 0
+	}
+	h.curEv = h.sim.After(d, h.name+".job."+j.Name, func(doneNow time.Time) {
+		if !h.booted { // power vanished; abort path already handled
+			return
+		}
+		h.running = false
+		h.curJob = nil
+		h.done++
+		j.Run(doneNow)
+		h.pump(doneNow)
+	})
+}

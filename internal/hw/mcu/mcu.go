@@ -1,0 +1,419 @@
+// Package mcu simulates the MSP430 microcontroller on a Gumsense board.
+//
+// The MSP430 is the always-on half of the dual-processor platform: it keeps
+// the real-time clock, holds the wake-up schedule in RAM, samples the battery
+// voltage (and enclosure temperature/humidity) every thirty minutes, and
+// switches power to every peripheral including the Gumstix itself. Its two
+// crucial failure semantics, both described in §IV of the paper, are
+// reproduced exactly:
+//
+//   - On total power loss the RAM schedule is lost and the RTC resets to the
+//     Unix epoch (01/01/1970 00:00), so on recovery the clock reads a time
+//     far in the past.
+//   - A small non-volatile store (flash) survives power loss; the system
+//     records the last time it successfully ran there, which is how the
+//     recovery logic detects that the RTC is not to be trusted.
+package mcu
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/simenv"
+)
+
+// RTCEpoch is the value the real-time clock resets to on total power loss.
+var RTCEpoch = time.Date(1970, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// SampleInterval is the firmware's battery/housekeeping sampling period.
+const SampleInterval = 30 * time.Minute
+
+// Config parameterises an MSP430.
+type Config struct {
+	// Name prefixes the MCU's load and event names.
+	Name string
+	// SleepW is the quiescent draw of the MSP430 and Gumsense board. The
+	// whole point of the platform is that this is tiny (~1 mW class).
+	SleepW float64
+	// DriftPPM is RTC crystal drift in parts per million (positive = fast).
+	DriftPPM float64
+	// SampleBufferCap bounds the in-RAM housekeeping sample buffer.
+	SampleBufferCap int
+}
+
+// DefaultConfig returns the Gumsense values.
+func DefaultConfig(name string) Config {
+	return Config{Name: name, SleepW: 0.003, DriftPPM: 8, SampleBufferCap: 4096}
+}
+
+// HousekeepingSample is one 30-minute firmware measurement. Pitch and roll
+// are the §VII future-work sensors ("so that the enclosure's movement as
+// the ice melts can be tracked"): the mast settles as the surface ablates.
+type HousekeepingSample struct {
+	// RTC is the sample timestamp as the MCU's clock saw it.
+	RTC time.Time
+	// BatteryVolts is the terminal voltage measured by the ADC.
+	BatteryVolts float64
+	// TempC is the enclosure internal temperature.
+	TempC float64
+	// HumidityPct is the enclosure internal relative humidity.
+	HumidityPct float64
+	// PitchDeg is the enclosure pitch from level.
+	PitchDeg float64
+	// RollDeg is the enclosure roll from level.
+	RollDeg float64
+}
+
+// AlarmID identifies a scheduled RTC alarm.
+type AlarmID uint64
+
+type alarm struct {
+	id   AlarmID
+	rtc  time.Time // alarm time in RTC time
+	name string
+	fn   func(rtcNow time.Time)
+	ev   simenv.EventID
+}
+
+// MCU is a simulated MSP430 attached to a power bus. All methods must be
+// called from the simulation goroutine.
+type MCU struct {
+	sim     *simenv.Simulator
+	bus     *energy.Bus
+	sampler energy.Sampler
+	cfg     Config
+
+	alive bool
+	// rtcBase/wallBase anchor the RTC: rtcNow = rtcBase + (wall-wallBase)*(1+drift).
+	rtcBase  time.Time
+	wallBase time.Time
+
+	alarms    map[AlarmID]*alarm
+	nextAlarm AlarmID
+	rails     map[string]float64 // rail name -> watts while on
+	railsOn   map[string]bool
+	railSubs  map[string][]func(on bool, now time.Time)
+
+	samples []HousekeepingSample
+	dropped int
+
+	// nv is the non-volatile flash store: survives power loss.
+	nv map[string]string
+
+	onBoot []func(rtcNow time.Time, coldStart bool)
+	boots  int
+
+	sampleTicker *simenv.Ticker
+}
+
+// New constructs an MCU, attaches its sleep load to the bus, wires power
+// fail/restore, and starts it alive.
+func New(sim *simenv.Simulator, bus *energy.Bus, sampler energy.Sampler, cfg Config) *MCU {
+	def := DefaultConfig(cfg.Name)
+	if cfg.SleepW == 0 {
+		cfg.SleepW = def.SleepW
+	}
+	if cfg.SampleBufferCap == 0 {
+		cfg.SampleBufferCap = def.SampleBufferCap
+	}
+	if cfg.Name == "" {
+		cfg.Name = "mcu"
+	}
+	m := &MCU{
+		sim:      sim,
+		bus:      bus,
+		sampler:  sampler,
+		cfg:      cfg,
+		alarms:   make(map[AlarmID]*alarm),
+		rails:    make(map[string]float64),
+		railsOn:  make(map[string]bool),
+		railSubs: make(map[string][]func(bool, time.Time)),
+		nv:       make(map[string]string),
+	}
+	bus.OnPowerFail(m.powerFail)
+	bus.OnPowerRestore(m.powerRestore)
+	m.start(sim.Now(), true)
+	return m
+}
+
+// Alive reports whether the MCU has power.
+func (m *MCU) Alive() bool { return m.alive }
+
+// Boots reports how many times the MCU has (re)started, including the first.
+func (m *MCU) Boots() int { return m.boots }
+
+// OnBoot registers a firmware boot hook, invoked on initial start and after
+// every recovery from total power loss. coldStart is true only for the very
+// first start (when the RTC was set on the bench before deployment).
+func (m *MCU) OnBoot(fn func(rtcNow time.Time, coldStart bool)) {
+	m.onBoot = append(m.onBoot, fn)
+}
+
+func (m *MCU) start(now time.Time, cold bool) {
+	m.alive = true
+	m.boots++
+	if cold {
+		// Bench-set clock: starts correct.
+		m.rtcBase = now
+	} else {
+		// §IV: "the real time clock will have reset to 0 which is
+		// 01/01/1970 00:00".
+		m.rtcBase = RTCEpoch
+	}
+	m.wallBase = now
+	m.bus.SetLoad(m.loadName(), m.cfg.SleepW)
+	m.sampleTicker = m.sim.Every(now.Add(SampleInterval), SampleInterval, m.cfg.Name+".sample", m.takeSample)
+	for _, fn := range m.onBoot {
+		fn(m.Now(), cold)
+	}
+}
+
+func (m *MCU) powerFail(now time.Time) {
+	m.alive = false
+	// RAM contents are lost: schedule, housekeeping buffer, rail states.
+	for _, a := range m.alarms {
+		m.sim.Cancel(a.ev)
+	}
+	m.alarms = make(map[AlarmID]*alarm)
+	m.samples = nil
+	if m.sampleTicker != nil {
+		m.sampleTicker.Stop()
+	}
+	for rail, on := range m.railsOn {
+		if on {
+			m.railsOn[rail] = false
+			for _, fn := range m.railSubs[rail] {
+				fn(false, now)
+			}
+		}
+	}
+}
+
+func (m *MCU) powerRestore(now time.Time) {
+	m.start(now, false)
+}
+
+func (m *MCU) loadName() string { return m.cfg.Name + ".sleep" }
+
+// --- RTC ---
+
+// Now returns the current RTC time, including crystal drift.
+func (m *MCU) Now() time.Time {
+	if !m.alive {
+		return RTCEpoch
+	}
+	elapsed := m.sim.Now().Sub(m.wallBase)
+	driftAdj := time.Duration(float64(elapsed) * m.cfg.DriftPPM / 1e6)
+	return m.rtcBase.Add(elapsed + driftAdj)
+}
+
+// SetTime sets the RTC (e.g. from a GPS fix) and re-arms pending alarms
+// against the corrected clock.
+func (m *MCU) SetTime(t time.Time) {
+	m.mustBeAlive("SetTime")
+	m.rtcBase = t
+	m.wallBase = m.sim.Now()
+	for _, a := range m.alarms {
+		m.sim.Cancel(a.ev)
+		m.armAlarm(a)
+	}
+}
+
+// ClockError returns RTC time minus true (simulated wall) time.
+func (m *MCU) ClockError() time.Duration {
+	return m.Now().Sub(m.sim.Now())
+}
+
+// --- Non-volatile store ---
+
+// NVPut writes a key to flash; survives power loss.
+func (m *MCU) NVPut(key, value string) { m.nv[key] = value }
+
+// NVGet reads a key from flash.
+func (m *MCU) NVGet(key string) (string, bool) {
+	v, ok := m.nv[key]
+	return v, ok
+}
+
+// SetLastRun records the last successful run time in flash (RFC 3339).
+func (m *MCU) SetLastRun(t time.Time) {
+	m.NVPut("last-run", t.UTC().Format(time.RFC3339))
+}
+
+// LastRun returns the recorded last successful run time, if any.
+func (m *MCU) LastRun() (time.Time, bool) {
+	v, ok := m.nv["last-run"]
+	if !ok {
+		return time.Time{}, false
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+// ClockSuspect reports whether the RTC is behind the recorded last
+// successful run — the paper's test for "the RTC is not to be trusted".
+func (m *MCU) ClockSuspect() bool {
+	last, ok := m.LastRun()
+	if !ok {
+		return false
+	}
+	return m.Now().Before(last)
+}
+
+// --- Alarms (RAM schedule) ---
+
+// AlarmAt schedules fn at the given RTC time. Alarms live in RAM: they are
+// lost on power failure. Alarms in the RTC's past fire immediately.
+func (m *MCU) AlarmAt(rtc time.Time, name string, fn func(rtcNow time.Time)) AlarmID {
+	m.mustBeAlive("AlarmAt")
+	m.nextAlarm++
+	a := &alarm{id: m.nextAlarm, rtc: rtc, name: name, fn: fn}
+	m.alarms[a.id] = a
+	m.armAlarm(a)
+	return a.id
+}
+
+// AlarmAfter schedules fn after d of RTC time.
+func (m *MCU) AlarmAfter(d time.Duration, name string, fn func(rtcNow time.Time)) AlarmID {
+	return m.AlarmAt(m.Now().Add(d), name, fn)
+}
+
+// CancelAlarm removes a pending alarm.
+func (m *MCU) CancelAlarm(id AlarmID) {
+	a, ok := m.alarms[id]
+	if !ok {
+		return
+	}
+	m.sim.Cancel(a.ev)
+	delete(m.alarms, id)
+}
+
+// PendingAlarms returns the names of pending alarms, sorted; used by tests
+// and the status reports.
+func (m *MCU) PendingAlarms() []string {
+	names := make([]string, 0, len(m.alarms))
+	for _, a := range m.alarms {
+		names = append(names, a.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (m *MCU) armAlarm(a *alarm) {
+	// Convert RTC alarm time to wall time using the current anchoring.
+	wait := a.rtc.Sub(m.Now())
+	if wait < 0 {
+		wait = 0
+	}
+	a.ev = m.sim.After(wait, m.cfg.Name+".alarm."+a.name, func(now time.Time) {
+		if !m.alive {
+			return
+		}
+		if _, live := m.alarms[a.id]; !live {
+			return
+		}
+		delete(m.alarms, a.id)
+		a.fn(m.Now())
+	})
+}
+
+// --- Power rails ---
+
+// DefineRail declares a named switched rail and its on-state draw in watts.
+func (m *MCU) DefineRail(rail string, watts float64) {
+	if watts < 0 {
+		panic(fmt.Sprintf("mcu: negative rail wattage %v", watts))
+	}
+	m.rails[rail] = watts
+}
+
+// OnRail subscribes to power changes of a rail (peripherals use this to know
+// when they gain or lose power).
+func (m *MCU) OnRail(rail string, fn func(on bool, now time.Time)) {
+	m.railSubs[rail] = append(m.railSubs[rail], fn)
+}
+
+// SetRail switches a rail on or off. No-ops when the MCU is dead or the
+// state is unchanged.
+func (m *MCU) SetRail(rail string, on bool) {
+	if !m.alive {
+		return
+	}
+	w, ok := m.rails[rail]
+	if !ok {
+		panic(fmt.Sprintf("mcu: undefined rail %q", rail))
+	}
+	if m.railsOn[rail] == on {
+		return
+	}
+	m.railsOn[rail] = on
+	if on {
+		m.bus.SetLoad(m.cfg.Name+".rail."+rail, w)
+	} else {
+		m.bus.SetLoad(m.cfg.Name+".rail."+rail, 0)
+	}
+	for _, fn := range m.railSubs[rail] {
+		fn(on, m.sim.Now())
+	}
+}
+
+// RailOn reports whether a rail is currently powered.
+func (m *MCU) RailOn(rail string) bool { return m.railsOn[rail] }
+
+// --- Housekeeping sampling ---
+
+func (m *MCU) takeSample(now time.Time) {
+	if !m.alive {
+		return
+	}
+	var temp, hum float64 = -5, 70
+	var pitch, roll float64
+	if m.sampler != nil {
+		c := m.sampler.Sample(now)
+		temp = c.AirTempC + 4 // enclosure runs warm
+		hum = 55 + 30*c.MeltIndex
+		// The mast settles as the surface melts out from under its feet:
+		// a slow melt-driven lean plus wind buffeting.
+		k := uint64(now.Unix() / 1800)
+		pitch = 5*c.MeltIndex + 0.4*(simenv.HashNoise(m.sim.Seed(), m.cfg.Name+"/pitch", k)-0.5)
+		roll = 2.5*c.MeltIndex + 0.3*(simenv.HashNoise(m.sim.Seed(), m.cfg.Name+"/roll", k)-0.5)
+	}
+	s := HousekeepingSample{
+		RTC:          m.Now(),
+		BatteryVolts: m.bus.VoltageNow(),
+		TempC:        temp,
+		HumidityPct:  hum,
+		PitchDeg:     pitch,
+		RollDeg:      roll,
+	}
+	if len(m.samples) >= m.cfg.SampleBufferCap {
+		m.samples = m.samples[1:]
+		m.dropped++
+	}
+	m.samples = append(m.samples, s)
+}
+
+// DrainSamples returns and clears the housekeeping buffer — the daily
+// download to the Gumstix that feeds the power-state averaging.
+func (m *MCU) DrainSamples() []HousekeepingSample {
+	out := m.samples
+	m.samples = nil
+	return out
+}
+
+// SampleCount returns the number of buffered housekeeping samples.
+func (m *MCU) SampleCount() int { return len(m.samples) }
+
+// DroppedSamples returns how many samples were lost to buffer overflow.
+func (m *MCU) DroppedSamples() int { return m.dropped }
+
+func (m *MCU) mustBeAlive(op string) {
+	if !m.alive {
+		panic(fmt.Sprintf("mcu %s: %s on dead MCU", m.cfg.Name, op))
+	}
+}

@@ -1,0 +1,256 @@
+package mcu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+func newRig(t *testing.T, soc float64) (*simenv.Simulator, *energy.Bus, *MCU) {
+	t.Helper()
+	sim := simenv.New(1)
+	bat := energy.NewBattery(energy.BatteryConfig{CapacityAh: 36, InitialSoC: soc})
+	wx := weather.New(weather.DefaultConfig(1))
+	bus := energy.NewBus(sim, bat, nil, wx, energy.BusConfig{})
+	m := New(sim, bus, wx, DefaultConfig("mcu"))
+	return sim, bus, m
+}
+
+func TestRTCStartsCorrectOnColdStart(t *testing.T) {
+	sim, _, m := newRig(t, 1)
+	if err := sim.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if e := m.ClockError(); e < 0 || e > time.Second {
+		t.Fatalf("cold-start clock error %v, want ~0 (small positive drift)", e)
+	}
+}
+
+func TestRTCDrifts(t *testing.T) {
+	sim := simenv.New(1)
+	bat := energy.NewBattery(energy.BatteryConfig{InitialSoC: 1})
+	bus := energy.NewBus(sim, bat, nil, nil, energy.BusConfig{})
+	m := New(sim, bus, nil, Config{Name: "m", DriftPPM: 100})
+	if err := sim.RunFor(240 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// 100 ppm over 240h = 86.4s fast.
+	e := m.ClockError()
+	if e < 80*time.Second || e > 95*time.Second {
+		t.Fatalf("clock error %v after 240h at 100ppm, want ~86s", e)
+	}
+}
+
+func TestSetTimeCorrectsClock(t *testing.T) {
+	sim, _, m := newRig(t, 1)
+	if err := sim.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTime(sim.Now())
+	if e := m.ClockError(); e != 0 {
+		t.Fatalf("clock error %v immediately after SetTime, want 0", e)
+	}
+}
+
+func TestHousekeepingSamplesEvery30Min(t *testing.T) {
+	sim, _, m := newRig(t, 1)
+	if err := sim.RunFor(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.SampleCount(); n != 12 {
+		t.Fatalf("%d samples after 6h, want 12", n)
+	}
+	s := m.DrainSamples()
+	if len(s) != 12 {
+		t.Fatalf("drained %d", len(s))
+	}
+	if m.SampleCount() != 0 {
+		t.Fatal("buffer not cleared by drain")
+	}
+	if s[0].BatteryVolts < 11 || s[0].BatteryVolts > 14.7 {
+		t.Fatalf("implausible voltage sample %v", s[0].BatteryVolts)
+	}
+}
+
+func TestSampleBufferBounded(t *testing.T) {
+	sim := simenv.New(1)
+	bat := energy.NewBattery(energy.BatteryConfig{InitialSoC: 1})
+	bus := energy.NewBus(sim, bat, nil, nil, energy.BusConfig{})
+	m := New(sim, bus, nil, Config{Name: "m", SampleBufferCap: 10})
+	if err := sim.RunFor(24 * time.Hour); err != nil { // 48 samples
+		t.Fatal(err)
+	}
+	if n := m.SampleCount(); n != 10 {
+		t.Fatalf("buffer holds %d, cap 10", n)
+	}
+	if m.DroppedSamples() == 0 {
+		t.Fatal("overflow not recorded")
+	}
+}
+
+func TestAlarmFiresAtRTCTime(t *testing.T) {
+	sim, _, m := newRig(t, 1)
+	fired := false
+	m.AlarmAfter(2*time.Hour, "wake", func(time.Time) { fired = true })
+	if err := sim.RunFor(119 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("alarm fired early")
+	}
+	if err := sim.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("alarm did not fire")
+	}
+}
+
+func TestCancelAlarm(t *testing.T) {
+	sim, _, m := newRig(t, 1)
+	id := m.AlarmAfter(time.Hour, "wake", func(time.Time) { t.Fatal("cancelled alarm fired") })
+	m.CancelAlarm(id)
+	if err := sim.RunFor(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLossResetsRTCAndClearsSchedule(t *testing.T) {
+	sim, bus, m := newRig(t, 0.08)
+	m.AlarmAfter(100*time.Hour, "wake", func(time.Time) { t.Fatal("RAM alarm survived power loss") })
+	bus.SetLoad("drain", 60)
+	if err := sim.RunFor(12 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if m.Alive() {
+		t.Fatal("MCU survived total depletion")
+	}
+	if len(m.PendingAlarms()) != 0 {
+		t.Fatalf("alarms survived: %v", m.PendingAlarms())
+	}
+	if err := sim.RunFor(300 * time.Hour); err != nil { // solar/wind recharge
+		t.Fatal(err)
+	}
+	if !m.Alive() {
+		t.Skip("battery did not recover in window (weather dependent)")
+	}
+	// §IV: RTC resets to 01/01/1970.
+	if y := m.Now().Year(); y > 1971 {
+		t.Fatalf("RTC year %d after power loss, want epoch-ish", y)
+	}
+}
+
+func TestClockSuspectDetectsReset(t *testing.T) {
+	sim, _, m := newRig(t, 1)
+	if err := sim.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	m.SetLastRun(m.Now())
+	if m.ClockSuspect() {
+		t.Fatal("healthy clock flagged suspect")
+	}
+	// Simulate post-power-loss state: RTC at epoch, NV intact.
+	m.SetTime(RTCEpoch)
+	if !m.ClockSuspect() {
+		t.Fatal("epoch-reset clock not flagged suspect")
+	}
+}
+
+func TestNVStoreSurvivesPowerLoss(t *testing.T) {
+	sim, bus, m := newRig(t, 0.08)
+	m.NVPut("last-run", "2009-09-22T12:00:00Z")
+	bus.SetLoad("drain", 60)
+	if err := sim.RunFor(400 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.NVGet("last-run"); !ok || v != "2009-09-22T12:00:00Z" {
+		t.Fatalf("NV store lost across power cycle: %q %v", v, ok)
+	}
+}
+
+func TestRailSwitching(t *testing.T) {
+	sim, bus, m := newRig(t, 1)
+	m.DefineRail("gps", 3.6)
+	var events []bool
+	m.OnRail("gps", func(on bool, _ time.Time) { events = append(events, on) })
+	m.SetRail("gps", true)
+	if !m.RailOn("gps") {
+		t.Fatal("rail not on")
+	}
+	if bus.Load("mcu.rail.gps") != 3.6 {
+		t.Fatalf("bus load %v, want 3.6", bus.Load("mcu.rail.gps"))
+	}
+	m.SetRail("gps", true) // no-op
+	m.SetRail("gps", false)
+	if bus.Load("mcu.rail.gps") != 0 {
+		t.Fatal("rail load not removed")
+	}
+	if len(events) != 2 || !events[0] || events[1] {
+		t.Fatalf("rail events %v, want [true false]", events)
+	}
+	_ = sim
+}
+
+func TestSetRailUndefinedPanics(t *testing.T) {
+	_, _, m := newRig(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for undefined rail")
+		}
+	}()
+	m.SetRail("nonexistent", true)
+}
+
+func TestRailsDropOnPowerFail(t *testing.T) {
+	sim, bus, m := newRig(t, 0.05)
+	m.DefineRail("gps", 3.6)
+	var last bool = true
+	m.OnRail("gps", func(on bool, _ time.Time) { last = on })
+	m.SetRail("gps", true)
+	bus.SetLoad("drain", 80)
+	if err := sim.RunFor(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if m.Alive() {
+		t.Fatal("MCU should be dead")
+	}
+	if last {
+		t.Fatal("rail subscriber not told about power loss")
+	}
+	if m.RailOn("gps") {
+		t.Fatal("rail still on after power loss")
+	}
+}
+
+func TestBootHookRunsOnStartAndRestore(t *testing.T) {
+	sim := simenv.New(3)
+	bat := energy.NewBattery(energy.BatteryConfig{CapacityAh: 2, InitialSoC: 0.3})
+	wx := weather.New(weather.DefaultConfig(3))
+	bus := energy.NewBus(sim, bat, []energy.Charger{energy.NewSolarPanel(30)}, wx, energy.BusConfig{})
+	m := New(sim, bus, wx, DefaultConfig("m"))
+	var colds, warms int
+	m.OnBoot(func(_ time.Time, cold bool) {
+		if cold {
+			colds++
+		} else {
+			warms++
+		}
+	})
+	// The hook registered after construction fires only on later boots;
+	// drain the battery and let summer sun restore it.
+	bus.SetLoad("drain", 40)
+	start := time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+	_ = start
+	if err := sim.RunFor(10 * 24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if bus.FailCount() == 0 {
+		t.Fatal("no power failure induced")
+	}
+	if warms == 0 {
+		t.Fatalf("no warm boots after %d failures (boots=%d)", bus.FailCount(), m.Boots())
+	}
+}

@@ -1,0 +1,271 @@
+// Package probe simulates the sub-glacial probes of the Glacsweb
+// deployment: sensor nodes hot-water-drilled ~70 m under the ice surface,
+// "equipped with an array of sensors chosen to measure changes in
+// conductivity, orientation and pressure" (§I).
+//
+// Each probe samples on its own schedule, buffers readings locally, and
+// answers the base station's fetch protocol. Two behaviours from the paper
+// are central:
+//
+//   - Fig 6: electrical conductivity rises at the end of winter as
+//     melt-water reaches the glacier bed — reproduced from the weather
+//     model's melt index with a per-probe basal lag.
+//   - §V: probes fail permanently over time (4/7 alive after one year,
+//     data from 2 after 18 months) — reproduced with an exponential
+//     survival model.
+package probe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/simenv"
+	"repro/internal/weather"
+)
+
+// DefaultSampleInterval is how often a probe records a reading. Hourly
+// sampling over a ~4-month offline stretch accumulates the ~3000 readings
+// §V describes arriving in one summer fetch.
+const DefaultSampleInterval = time.Hour
+
+// ReadingBytes is the on-air size of one reading packet.
+const ReadingBytes = 64
+
+// Reading is one probe measurement.
+type Reading struct {
+	// Seq is the probe-local sequence number, starting at 1.
+	Seq uint64
+	// At is the probe's timestamp for the reading.
+	At time.Time
+	// ConductivityUS is electrical conductivity in µS.
+	ConductivityUS float64
+	// TiltDeg is the probe's tilt from vertical in degrees.
+	TiltDeg float64
+	// PressureKPa is water/ice pressure at the probe.
+	PressureKPa float64
+	// TempC is the probe's internal temperature.
+	TempC float64
+}
+
+// Config parameterises a probe.
+type Config struct {
+	// ID is the probe number (the paper's probes 21, 24, 25...).
+	ID int
+	// SampleInterval is the sensing period; defaults to hourly.
+	SampleInterval time.Duration
+	// BaseConductivityUS is the dry-winter conductivity floor.
+	BaseConductivityUS float64
+	// MeltConductivityUS is the additional conductivity at full melt.
+	MeltConductivityUS float64
+	// BasalLagDays delays the melt signal reaching this probe's bed site.
+	BasalLagDays float64
+	// MeanLifetime is the exponential-survival mean life. The paper's
+	// 4/7-after-one-year gives a mean of ~1.8 years.
+	MeanLifetime time.Duration
+	// BufferCap bounds the reading store (flash size).
+	BufferCap int
+}
+
+// DefaultConfig returns plausible per-probe parameters, varied by ID so a
+// cohort does not behave identically (as Fig 6's three traces do not).
+func DefaultConfig(id int) Config {
+	n := noise(int64(id), "probecfg", 0)
+	return Config{
+		ID:                 id,
+		SampleInterval:     DefaultSampleInterval,
+		BaseConductivityUS: 0.8 + 1.6*n,
+		MeltConductivityUS: 7 + 8*noise(int64(id), "probecfg", 1),
+		BasalLagDays:       2 + 8*noise(int64(id), "probecfg", 2),
+		MeanLifetime:       time.Duration(1.8 * 365.25 * 24 * float64(time.Hour)),
+		BufferCap:          20000,
+	}
+}
+
+// Probe is one simulated sub-glacial node.
+type Probe struct {
+	sim *simenv.Simulator
+	wx  *weather.Model
+	cfg Config
+
+	readings  []Reading
+	nextSeq   uint64
+	completed uint64 // highest seq the base has confirmed received
+	dropped   int
+
+	failAt time.Time
+	ticker *simenv.Ticker
+	tilt   float64
+}
+
+// New constructs a probe and starts its sampling schedule. The probe's
+// permanent-failure time is drawn deterministically from (sim seed, ID).
+func New(sim *simenv.Simulator, wx *weather.Model, cfg Config) *Probe {
+	def := DefaultConfig(cfg.ID)
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = def.SampleInterval
+	}
+	if cfg.BaseConductivityUS == 0 {
+		cfg.BaseConductivityUS = def.BaseConductivityUS
+	}
+	if cfg.MeltConductivityUS == 0 {
+		cfg.MeltConductivityUS = def.MeltConductivityUS
+	}
+	if cfg.BasalLagDays == 0 {
+		cfg.BasalLagDays = def.BasalLagDays
+	}
+	if cfg.MeanLifetime == 0 {
+		cfg.MeanLifetime = def.MeanLifetime
+	}
+	if cfg.BufferCap == 0 {
+		cfg.BufferCap = def.BufferCap
+	}
+	p := &Probe{sim: sim, wx: wx, cfg: cfg, tilt: 2 + 6*noise(sim.Seed()+int64(cfg.ID), "tilt0", 0)}
+
+	// Exponential failure time: -mean * ln(U).
+	u := noise(sim.Seed(), "probefail", uint64(cfg.ID))
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	life := time.Duration(-float64(cfg.MeanLifetime) * math.Log(u))
+	p.failAt = sim.Now().Add(life)
+
+	p.ticker = sim.Every(sim.Now().Add(cfg.SampleInterval), cfg.SampleInterval,
+		fmt.Sprintf("probe%d.sample", cfg.ID), p.sample)
+	return p
+}
+
+// ID returns the probe number.
+func (p *Probe) ID() int { return p.cfg.ID }
+
+// Alive reports whether the probe is still operating at now.
+func (p *Probe) Alive(now time.Time) bool { return now.Before(p.failAt) }
+
+// FailAt returns the probe's permanent-failure time (for experiments).
+func (p *Probe) FailAt() time.Time { return p.failAt }
+
+func (p *Probe) sample(now time.Time) {
+	if !p.Alive(now) {
+		p.ticker.Stop()
+		return
+	}
+	p.nextSeq++
+	r := Reading{
+		Seq:            p.nextSeq,
+		At:             now,
+		ConductivityUS: p.ConductivityAt(now),
+		TiltDeg:        p.tiltAt(),
+		PressureKPa:    p.pressureAt(now),
+		TempC:          -0.5 + 0.3*noise(p.sim.Seed()+int64(p.cfg.ID), "ptemp", p.nextSeq),
+	}
+	if len(p.readings) >= p.cfg.BufferCap {
+		p.readings = p.readings[1:]
+		p.dropped++
+	}
+	p.readings = append(p.readings, r)
+}
+
+// ConductivityAt returns the conductivity signal at now: a winter floor
+// rising with the (lagged) melt index, plus measurement noise. This is the
+// Fig 6 signal.
+func (p *Probe) ConductivityAt(now time.Time) float64 {
+	lag := time.Duration(p.cfg.BasalLagDays * 24 * float64(time.Hour))
+	melt := 0.0
+	if p.wx != nil {
+		melt = p.wx.MeltIndex(now.Add(-lag))
+	}
+	n := noise(p.sim.Seed()+int64(p.cfg.ID), "cond", uint64(now.Unix()/3600))
+	return p.cfg.BaseConductivityUS + p.cfg.MeltConductivityUS*melt + 0.4*(n-0.5)
+}
+
+func (p *Probe) tiltAt() float64 {
+	// Slow random walk: ice deformation reorients the probe.
+	step := noise(p.sim.Seed()+int64(p.cfg.ID), "tiltw", p.nextSeq) - 0.5
+	p.tilt = math.Max(0, math.Min(90, p.tilt+0.05*step))
+	return p.tilt
+}
+
+func (p *Probe) pressureAt(now time.Time) float64 {
+	base := 70.0 * 9.0 // ~70 m of ice ≈ 630 kPa
+	melt := 0.0
+	if p.wx != nil {
+		melt = p.wx.MeltIndex(now)
+	}
+	n := noise(p.sim.Seed()+int64(p.cfg.ID), "press", uint64(now.Unix()/3600))
+	return base + 40*melt + 8*(n-0.5)
+}
+
+// --- Reading store / protocol server side ---
+
+// PendingCount returns the number of readings not yet confirmed fetched.
+func (p *Probe) PendingCount() int {
+	return len(p.pendingSlice())
+}
+
+// Pending returns a copy of unconfirmed readings, oldest first.
+func (p *Probe) Pending() []Reading {
+	src := p.pendingSlice()
+	out := make([]Reading, len(src))
+	copy(out, src)
+	return out
+}
+
+func (p *Probe) pendingSlice() []Reading {
+	i := sort.Search(len(p.readings), func(i int) bool {
+		return p.readings[i].Seq > p.completed
+	})
+	return p.readings[i:]
+}
+
+// Get returns the reading with the given sequence number, if still buffered.
+func (p *Probe) Get(seq uint64) (Reading, bool) {
+	i := sort.Search(len(p.readings), func(i int) bool {
+		return p.readings[i].Seq >= seq
+	})
+	if i < len(p.readings) && p.readings[i].Seq == seq {
+		return p.readings[i], true
+	}
+	return Reading{}, false
+}
+
+// MarkComplete confirms that the base station holds everything up to and
+// including seq. §V: "the task was not marked as complete in the probes; so
+// many missing readings were obtained in subsequent days" — completion is
+// only ever advanced by the base, never assumed by the probe.
+func (p *Probe) MarkComplete(seq uint64) {
+	if seq > p.completed {
+		p.completed = seq
+	}
+}
+
+// CompletedThrough returns the highest confirmed sequence number.
+func (p *Probe) CompletedThrough() uint64 { return p.completed }
+
+// LastSeq returns the newest recorded sequence number.
+func (p *Probe) LastSeq() uint64 { return p.nextSeq }
+
+// DroppedReadings returns how many readings were lost to buffer overflow.
+func (p *Probe) DroppedReadings() int { return p.dropped }
+
+func noise(seed int64, tag string, k uint64) float64 {
+	return simenv.HashNoise(seed, tag, k)
+}
+
+// Survival returns the fraction of a cohort of n probes (IDs 1..n) that
+// would still be alive after d, using the same deterministic draws as New.
+// It exists for the §V survival experiment (4/7 after one year).
+func Survival(seed int64, n int, mean time.Duration, d time.Duration) float64 {
+	alive := 0
+	for id := 1; id <= n; id++ {
+		u := noise(seed, "probefail", uint64(id))
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		life := time.Duration(-float64(mean) * math.Log(u))
+		if life > d {
+			alive++
+		}
+	}
+	return float64(alive) / float64(n)
+}

@@ -1,0 +1,121 @@
+package protocol
+
+import (
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/probe"
+)
+
+// ackBytes is the size of a per-reading acknowledgement packet.
+const ackBytes = 8
+
+// AckConfig parameterises the conventional stop-and-wait baseline.
+type AckConfig struct {
+	// MaxRetries bounds retransmissions per reading.
+	MaxRetries int
+}
+
+// DefaultAckConfig returns the baseline configuration.
+func DefaultAckConfig() AckConfig { return AckConfig{MaxRetries: 10} }
+
+// AckFetcher is the conventional per-packet-acknowledged protocol the paper
+// replaced: each reading is sent, then acknowledged, and retransmitted on
+// timeout. It pays one round trip and one ACK packet per reading even on a
+// clean channel, which is exactly the overhead the ack-less design removes.
+type AckFetcher struct {
+	cfg AckConfig
+}
+
+// NewAckFetcher constructs the baseline fetcher.
+func NewAckFetcher(cfg AckConfig) *AckFetcher {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultAckConfig().MaxRetries
+	}
+	return &AckFetcher{cfg: cfg}
+}
+
+// Fetch runs one stop-and-wait session against pr over ch with a time
+// budget. st carries the received-set across sessions and may be nil.
+func (f *AckFetcher) Fetch(now time.Time, ch *comms.ProbeChannel, pr *probe.Probe,
+	budget time.Duration, st *State) Result {
+	var res Result
+	if st == nil {
+		st = NewState()
+	}
+	clock := newBudget(now, budget)
+
+	pending := pr.Pending()
+	wanted := missingOf(pending, st)
+	if len(wanted) == 0 {
+		f.markComplete(ch, clock, pr, pending, st, &res)
+		return res
+	}
+	if !clock.spend(ch.PacketAirtime(requestBytes)+ch.RTT(), &res) {
+		return res
+	}
+	res.AirBytes += requestBytes
+
+	for _, r := range wanted {
+		delivered := false
+		for attempt := 0; attempt < f.cfg.MaxRetries; attempt++ {
+			// Data packet one way...
+			if !clock.spend(ch.PacketAirtime(probe.ReadingBytes), &res) {
+				return res
+			}
+			res.AirBytes += probe.ReadingBytes
+			dataOK := ch.Send(clock.now, probe.ReadingBytes)
+			// ...then the ACK (or a timeout if the data was lost).
+			if dataOK {
+				if !clock.spend(ch.PacketAirtime(ackBytes)+ch.RTT(), &res) {
+					return res
+				}
+				res.AirBytes += ackBytes
+				if ch.Send(clock.now, ackBytes) {
+					delivered = true
+					break
+				}
+				// ACK lost: sender retransmits (receiver dedupes).
+				res.Nacked++
+				continue
+			}
+			// Data lost: timeout before retransmit.
+			if !clock.spend(ch.RTT(), &res) {
+				return res
+			}
+			res.MissedFirstPass++
+		}
+		if delivered {
+			st.Have[r.Seq] = struct{}{}
+			res.Got = append(res.Got, r)
+		}
+	}
+
+	f.markComplete(ch, clock, pr, pending, st, &res)
+	return res
+}
+
+// markComplete mirrors the NackFetcher's completion handshake.
+func (f *AckFetcher) markComplete(ch *comms.ProbeChannel, clock *budget, pr *probe.Probe,
+	pending []probe.Reading, st *State, res *Result) {
+	if len(pending) == 0 {
+		res.Complete = true
+		return
+	}
+	for _, r := range pending {
+		if !st.has(r.Seq) {
+			return
+		}
+	}
+	highest := pending[len(pending)-1].Seq
+	if clock.spend(ch.PacketAirtime(requestBytes), res) {
+		res.AirBytes += requestBytes
+		pr.MarkComplete(highest)
+		res.Complete = true
+		for seq := range st.Have {
+			if seq <= highest {
+				delete(st.Have, seq)
+			}
+		}
+	}
+}

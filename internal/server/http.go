@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/power"
+)
+
+// Handler exposes the server over HTTP. Every operation is a GET with query
+// parameters — the deployed stations' wget "does not support POST", so the
+// real protocol was GET throughout; we reproduce that constraint.
+//
+// Routes:
+//
+//	GET /state?station=S&state=N      upload a power state
+//	GET /override?station=S           fetch the override state (plain int)
+//	GET /upload?station=S&bytes=N     record a data upload
+//	GET /special?station=S            pop the next special (JSON or 204)
+//	GET /md5?station=S&artifact=A&sum=H  checksum beacon
+//	GET /status                       JSON dump of station records
+type Handler struct {
+	srv *Server
+	// nowFn supplies timestamps; tests may override it.
+	nowFn func() time.Time
+}
+
+// NewHandler wraps a Server for HTTP access.
+func NewHandler(srv *Server) *Handler {
+	return &Handler{srv: srv, nowFn: time.Now}
+}
+
+// SetClock overrides the handler's time source (tests, simulation bridges).
+func (h *Handler) SetClock(fn func() time.Time) { h.nowFn = fn }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only (field wget has no POST)", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	station := q.Get("station")
+	now := h.nowFn()
+
+	switch strings.TrimSuffix(r.URL.Path, "/") {
+	case "/state":
+		st, err := strconv.Atoi(q.Get("state"))
+		if err != nil || !power.State(st).Valid() || station == "" {
+			http.Error(w, "need station and state 0-3", http.StatusBadRequest)
+			return
+		}
+		h.srv.UploadState(station, power.State(st), now)
+		fmt.Fprintln(w, "ok")
+	case "/override":
+		if station == "" {
+			http.Error(w, "need station", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, int(h.srv.OverrideFor(station, now)))
+	case "/upload":
+		n, err := strconv.ParseInt(q.Get("bytes"), 10, 64)
+		if err != nil || n < 0 || station == "" {
+			http.Error(w, "need station and bytes", http.StatusBadRequest)
+			return
+		}
+		h.srv.UploadData(station, n, now)
+		fmt.Fprintln(w, "ok")
+	case "/special":
+		if station == "" {
+			http.Error(w, "need station", http.StatusBadRequest)
+			return
+		}
+		sp, ok := h.srv.FetchSpecial(station, now)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(sp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "/md5":
+		if station == "" || q.Get("sum") == "" {
+			http.Error(w, "need station and sum", http.StatusBadRequest)
+			return
+		}
+		h.srv.ReportMD5(station, q.Get("artifact"), q.Get("sum"), now)
+		fmt.Fprintln(w, "ok")
+	case "/status":
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(h.srv.Stations()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// Client is the station-side HTTP client for a remote Handler. It exists
+// for the cmd/stationctl binary and integration tests; simulated stations
+// call the Server directly.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8090".
+	BaseURL string
+	// Station is this station's name.
+	Station string
+	// HTTP is the underlying client; defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) get(path string, params url.Values) (string, int, error) {
+	cl := c.HTTP
+	if cl == nil {
+		cl = http.DefaultClient
+	}
+	params.Set("station", c.Station)
+	resp, err := cl.Get(c.BaseURL + path + "?" + params.Encode())
+	if err != nil {
+		return "", 0, fmt.Errorf("server client: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", resp.StatusCode, fmt.Errorf("server client: read: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return "", resp.StatusCode, fmt.Errorf("server client: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return string(body), resp.StatusCode, nil
+}
+
+// UploadState reports the station's power state.
+func (c *Client) UploadState(st power.State) error {
+	_, _, err := c.get("/state", url.Values{"state": {strconv.Itoa(int(st))}})
+	return err
+}
+
+// FetchOverride retrieves the override state.
+func (c *Client) FetchOverride() (power.State, error) {
+	body, _, err := c.get("/override", url.Values{})
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(body))
+	if err != nil {
+		return 0, fmt.Errorf("server client: bad override %q: %w", body, err)
+	}
+	return power.State(n), nil
+}
+
+// UploadData reports an upload volume.
+func (c *Client) UploadData(bytes int64) error {
+	_, _, err := c.get("/upload", url.Values{"bytes": {strconv.FormatInt(bytes, 10)}})
+	return err
+}
+
+// FetchSpecial pops the next special, reporting ok=false when none waits.
+func (c *Client) FetchSpecial() (Special, bool, error) {
+	body, code, err := c.get("/special", url.Values{})
+	if err != nil {
+		return Special{}, false, err
+	}
+	if code == http.StatusNoContent {
+		return Special{}, false, nil
+	}
+	var sp Special
+	if err := json.Unmarshal([]byte(body), &sp); err != nil {
+		return Special{}, false, fmt.Errorf("server client: decode special: %w", err)
+	}
+	return sp, true, nil
+}
+
+// ReportMD5 sends the checksum beacon.
+func (c *Client) ReportMD5(artifact, sum string) error {
+	_, _, err := c.get("/md5", url.Values{"artifact": {artifact}, "sum": {sum}})
+	return err
+}

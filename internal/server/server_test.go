@@ -1,0 +1,193 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+)
+
+var t0 = time.Date(2009, 9, 22, 12, 0, 0, 0, time.UTC)
+
+func TestOverrideIsMinOfStations(t *testing.T) {
+	s := New()
+	s.UploadState("base", power.State3, t0)
+	s.UploadState("ref", power.State2, t0.Add(time.Minute))
+	if got := s.OverrideFor("base", t0.Add(2*time.Minute)); got != power.State2 {
+		t.Fatalf("override %v, want min(3,2)=2", got)
+	}
+	if got := s.OverrideFor("ref", t0.Add(2*time.Minute)); got != power.State2 {
+		t.Fatalf("override for ref %v, want 2", got)
+	}
+}
+
+func TestOverrideDefaultsToState3(t *testing.T) {
+	s := New()
+	if got := s.OverrideFor("base", t0); got != power.State3 {
+		t.Fatalf("override with no data %v, want 3", got)
+	}
+}
+
+func TestManualOverride(t *testing.T) {
+	s := New()
+	s.UploadState("base", power.State3, t0)
+	s.UploadState("ref", power.State3, t0)
+	s.SetManualOverride("base", power.State2)
+	if got := s.OverrideFor("base", t0); got != power.State2 {
+		t.Fatalf("manual override ignored: %v", got)
+	}
+	// Manual override is per-station.
+	if got := s.OverrideFor("ref", t0); got != power.State3 {
+		t.Fatalf("ref saw base's manual override: %v", got)
+	}
+	s.ClearManualOverride("base")
+	if got := s.OverrideFor("base", t0); got != power.State3 {
+		t.Fatalf("cleared override still applied: %v", got)
+	}
+}
+
+func TestUploadDataAccumulates(t *testing.T) {
+	s := New()
+	s.UploadData("base", 1000, t0)
+	s.UploadData("base", 500, t0.Add(time.Hour))
+	r, ok := s.Station("base")
+	if !ok || r.BytesReceived != 1500 || r.Uploads != 2 {
+		t.Fatalf("record %+v", r)
+	}
+	if !r.LastSeen.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("last seen %v", r.LastSeen)
+	}
+}
+
+func TestSpecialsFIFOAndPop(t *testing.T) {
+	s := New()
+	id1 := s.PushSpecial("base", "echo one", t0)
+	id2 := s.PushSpecial("base", "echo two", t0)
+	if s.PendingSpecials("base") != 2 {
+		t.Fatal("pending count wrong")
+	}
+	sp, ok := s.FetchSpecial("base", t0)
+	if !ok || sp.ID != id1 || sp.Script != "echo one" {
+		t.Fatalf("first special %+v", sp)
+	}
+	sp, ok = s.FetchSpecial("base", t0)
+	if !ok || sp.ID != id2 {
+		t.Fatalf("second special %+v", sp)
+	}
+	if _, ok := s.FetchSpecial("base", t0); ok {
+		t.Fatal("third fetch returned a special")
+	}
+}
+
+func TestSpecialsPerStation(t *testing.T) {
+	s := New()
+	s.PushSpecial("base", "x", t0)
+	if _, ok := s.FetchSpecial("ref", t0); ok {
+		t.Fatal("ref received base's special")
+	}
+}
+
+func TestMD5ReportsRecorded(t *testing.T) {
+	s := New()
+	s.ReportMD5("base", "probe-fetcher", "abc123", t0)
+	reps := s.MD5Reports()
+	if len(reps) != 1 || reps[0].Sum != "abc123" || reps[0].Station != "base" {
+		t.Fatalf("reports %+v", reps)
+	}
+}
+
+func TestSpecialOutputDelayedPath(t *testing.T) {
+	s := New()
+	s.ReportSpecialOutput(SpecialOutput{Station: "base", SpecialID: 1, Output: "ok",
+		ExecutedAt: t0, ReceivedAt: t0.Add(24 * time.Hour)})
+	outs := s.SpecialOutputs()
+	if len(outs) != 1 {
+		t.Fatal("output not recorded")
+	}
+	if lag := outs[0].ReceivedAt.Sub(outs[0].ExecutedAt); lag != 24*time.Hour {
+		t.Fatalf("lag %v", lag)
+	}
+}
+
+func TestStationsSorted(t *testing.T) {
+	s := New()
+	s.UploadState("ref", power.State2, t0)
+	s.UploadState("base", power.State3, t0)
+	all := s.Stations()
+	if len(all) != 2 || all[0].Name != "base" || all[1].Name != "ref" {
+		t.Fatalf("stations %+v", all)
+	}
+}
+
+// --- HTTP front end ---
+
+func newHTTPRig(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := New()
+	h := NewHandler(srv)
+	h.SetClock(func() time.Time { return t0 })
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return srv, &Client{BaseURL: ts.URL, Station: "base"}
+}
+
+func TestHTTPStateAndOverride(t *testing.T) {
+	srv, cl := newHTTPRig(t)
+	if err := cl.UploadState(power.State3); err != nil {
+		t.Fatal(err)
+	}
+	srv.UploadState("ref", power.State1, t0)
+	st, err := cl.FetchOverride()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != power.State1 {
+		t.Fatalf("override %v, want 1", st)
+	}
+}
+
+func TestHTTPUploadAndStatus(t *testing.T) {
+	srv, cl := newHTTPRig(t)
+	if err := cl.UploadData(12345); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := srv.Station("base")
+	if !ok || r.BytesReceived != 12345 {
+		t.Fatalf("record %+v", r)
+	}
+}
+
+func TestHTTPSpecialRoundTrip(t *testing.T) {
+	srv, cl := newHTTPRig(t)
+	if _, ok, err := cl.FetchSpecial(); err != nil || ok {
+		t.Fatalf("unexpected special: ok=%v err=%v", ok, err)
+	}
+	srv.PushSpecial("base", "reboot", t0)
+	sp, ok, err := cl.FetchSpecial()
+	if err != nil || !ok || sp.Script != "reboot" {
+		t.Fatalf("special %+v ok=%v err=%v", sp, ok, err)
+	}
+}
+
+func TestHTTPMD5Beacon(t *testing.T) {
+	srv, cl := newHTTPRig(t)
+	if err := cl.ReportMD5("code.py", "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	reps := srv.MD5Reports()
+	if len(reps) != 1 || reps[0].Artifact != "code.py" || reps[0].Sum != "deadbeef" {
+		t.Fatalf("reports %+v", reps)
+	}
+}
+
+func TestHTTPRejectsBadRequests(t *testing.T) {
+	_, cl := newHTTPRig(t)
+	bad := &Client{BaseURL: cl.BaseURL, Station: ""}
+	if err := bad.UploadState(power.State3); err == nil {
+		t.Fatal("missing station accepted")
+	}
+	if _, err := (&Client{BaseURL: cl.BaseURL, Station: "x"}).FetchOverride(); err != nil {
+		t.Fatalf("valid override request failed: %v", err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package simenv provides the deterministic discrete-event simulation kernel
+// used by every simulated subsystem in the Glacsweb reproduction.
+//
+// The kernel is deliberately small: a virtual clock, a priority queue of
+// timestamped events, and a family of named deterministic random-number
+// streams. All hardware, weather and link models are built as events
+// scheduled on a Simulator, which makes multi-month deployments run in
+// milliseconds and makes every run exactly reproducible from its seed.
+package simenv
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Epoch is the default simulation start time. Deployments usually override it
+// (the Iceland deployment scenarios start in autumn 2008), but tests rely on
+// a stable default.
+var Epoch = time.Date(2008, time.September, 1, 0, 0, 0, 0, time.UTC)
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Stop rather than by reaching its horizon or draining its queue.
+var ErrStopped = errors.New("simenv: simulation stopped")
+
+// Clock exposes the current simulated time. Components hold a Clock rather
+// than a *Simulator when they only need to read time, which keeps them
+// trivially testable.
+type Clock interface {
+	Now() time.Time
+}
+
+// EventFunc is the body of a scheduled event. It runs at its scheduled
+// simulated time on the single simulation goroutine.
+type EventFunc func(now time.Time)
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type event struct {
+	at   time.Time
+	seq  uint64 // tie-break so same-time events run in schedule order
+	id   EventID
+	fn   EventFunc
+	name string
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with New.
+type Simulator struct {
+	now       time.Time
+	queue     eventQueue
+	seq       uint64
+	nextID    EventID
+	cancelled map[EventID]struct{}
+	stopped   bool
+	running   bool
+	processed uint64
+	seed      int64
+
+	mu      sync.Mutex // guards rngs only; the event loop itself is single-threaded
+	rngs    map[string]*rand.Rand
+	tracers []func(name string, at time.Time)
+}
+
+// New returns a Simulator whose clock starts at Epoch and whose random
+// streams derive from seed.
+func New(seed int64) *Simulator {
+	return NewAt(seed, Epoch)
+}
+
+// NewAt returns a Simulator whose clock starts at the given time.
+func NewAt(seed int64, start time.Time) *Simulator {
+	return &Simulator{
+		now:       start,
+		cancelled: make(map[EventID]struct{}),
+		rngs:      make(map[string]*rand.Rand),
+		seed:      seed,
+	}
+}
+
+var _ Clock = (*Simulator)(nil)
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() time.Time { return s.now }
+
+// Seed returns the seed the simulator was constructed with.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+// Processed reports how many events have executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are queued (including cancelled ones that
+// have not yet been skipped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Rand returns the deterministic random stream for the given name. Streams
+// are independent: drawing from one never perturbs another, so adding a new
+// stochastic process to a model does not change existing traces.
+func (s *Simulator) Rand(name string) *rand.Rand {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.rngs[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	r := rand.New(rand.NewSource(s.seed ^ int64(h.Sum64()))) //nolint:gosec // simulation, not crypto
+	s.rngs[name] = r
+	return r
+}
+
+// OnEvent registers a tracer invoked before each event runs. Used by tests
+// and the trace package to observe scheduling without changing behaviour.
+func (s *Simulator) OnEvent(fn func(name string, at time.Time)) {
+	s.tracers = append(s.tracers, fn)
+}
+
+// At schedules fn to run at the given absolute simulated time. Scheduling in
+// the past (or exactly now) runs the event at the current time, after any
+// events already queued for that time.
+func (s *Simulator) At(at time.Time, name string, fn EventFunc) EventID {
+	if fn == nil {
+		panic("simenv: nil EventFunc")
+	}
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.seq++
+	s.nextID++
+	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn, name: name}
+	heap.Push(&s.queue, ev)
+	return ev.id
+}
+
+// After schedules fn to run d after the current simulated time. Negative
+// durations are treated as zero.
+func (s *Simulator) After(d time.Duration, name string, fn EventFunc) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Every schedules fn at the given period starting at start, rescheduling
+// itself until cancelled via the returned *Ticker.
+func (s *Simulator) Every(start time.Time, period time.Duration, name string, fn EventFunc) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("simenv: non-positive ticker period %v", period))
+	}
+	t := &Ticker{sim: s, period: period, name: name, fn: fn}
+	t.id = s.At(start, name, t.tick)
+	return t
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// already ran (or was already cancelled) is a no-op.
+func (s *Simulator) Cancel(id EventID) {
+	s.cancelled[id] = struct{}{}
+}
+
+// Stop halts Run after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if _, dead := s.cancelled[ev.id]; dead {
+			delete(s.cancelled, ev.id)
+			continue
+		}
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		for _, tr := range s.tracers {
+			tr(ev.name, s.now)
+		}
+		s.processed++
+		ev.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, the horizon is reached, or
+// Stop is called. The clock is left at min(horizon, last event time); if the
+// queue drains before the horizon the clock is advanced to the horizon so
+// callers can chain Run calls. Returns ErrStopped iff stopped explicitly.
+func (s *Simulator) Run(until time.Time) error {
+	if s.running {
+		panic("simenv: re-entrant Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at.After(until) {
+			break
+		}
+		s.Step()
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	if s.now.Before(until) {
+		s.now = until
+	}
+	return nil
+}
+
+// RunFor runs the simulation for d of simulated time from the current clock.
+func (s *Simulator) RunFor(d time.Duration) error {
+	return s.Run(s.now.Add(d))
+}
+
+func (s *Simulator) peek() *event {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if _, dead := s.cancelled[ev.id]; dead {
+			heap.Pop(&s.queue)
+			delete(s.cancelled, ev.id)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	sim    *Simulator
+	period time.Duration
+	name   string
+	fn     EventFunc
+	id     EventID
+	done   bool
+	fires  uint64
+}
+
+// Stop cancels all future firings of the ticker.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.sim.Cancel(t.id)
+}
+
+// Fires reports how many times the ticker has fired.
+func (t *Ticker) Fires() uint64 { return t.fires }
+
+// Period returns the tick period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+func (t *Ticker) tick(now time.Time) {
+	if t.done {
+		return
+	}
+	t.fires++
+	t.fn(now)
+	if t.done { // fn may have stopped us
+		return
+	}
+	t.id = t.sim.At(now.Add(t.period), t.name, t.tick)
+}
+
+// Midday returns 12:00 UTC on the day containing ts — the daily
+// communications window used throughout the deployment.
+func Midday(ts time.Time) time.Time {
+	y, m, d := ts.UTC().Date()
+	return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+}
+
+// NextMidday returns the first 12:00 UTC strictly after ts.
+func NextMidday(ts time.Time) time.Time {
+	mid := Midday(ts)
+	if mid.After(ts) {
+		return mid
+	}
+	return mid.Add(24 * time.Hour)
+}
+
+// StartOfDay returns 00:00 UTC on the day containing ts.
+func StartOfDay(ts time.Time) time.Time {
+	y, m, d := ts.UTC().Date()
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// DayOfYear returns the 1-based day of year of ts in UTC.
+func DayOfYear(ts time.Time) int { return ts.UTC().YearDay() }
+
+// HourOfDay returns the hour of day of ts in UTC as a float in [0, 24).
+func HourOfDay(ts time.Time) float64 {
+	u := ts.UTC()
+	return float64(u.Hour()) + float64(u.Minute())/60 + float64(u.Second())/3600
+}

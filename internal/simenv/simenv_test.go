@@ -1,0 +1,296 @@
+package simenv
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNowStartsAtEpoch(t *testing.T) {
+	s := New(1)
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), Epoch)
+	}
+}
+
+func TestNewAtStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2009, 1, 2, 3, 4, 5, 0, time.UTC)
+	s := NewAt(7, start)
+	if !s.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), start)
+	}
+}
+
+func TestAfterRunsInOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.After(2*time.Hour, "b", func(time.Time) { order = append(order, 2) })
+	s.After(1*time.Hour, "a", func(time.Time) { order = append(order, 1) })
+	s.After(3*time.Hour, "c", func(time.Time) { order = append(order, 3) })
+	if err := s.RunFor(4 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	at := s.Now().Add(time.Hour)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, "e", func(time.Time) { order = append(order, i) })
+	}
+	if err := s.RunFor(2 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO for equal timestamps)", i, v, i)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	s := New(1)
+	var got time.Time
+	s.After(90*time.Minute, "e", func(now time.Time) { got = now })
+	if err := s.RunFor(2 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	want := Epoch.Add(90 * time.Minute)
+	if !got.Equal(want) {
+		t.Fatalf("event ran at %v, want %v", got, want)
+	}
+}
+
+func TestRunAdvancesClockToHorizonWhenQueueDrains(t *testing.T) {
+	s := New(1)
+	if err := s.RunFor(24 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if !s.Now().Equal(Epoch.Add(24 * time.Hour)) {
+		t.Fatalf("Now() = %v, want horizon", s.Now())
+	}
+}
+
+func TestRunDoesNotExecuteBeyondHorizon(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(3*time.Hour, "late", func(time.Time) { ran = true })
+	if err := s.RunFor(time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if ran {
+		t.Fatal("event beyond horizon executed")
+	}
+	if err := s.RunFor(3 * time.Hour); err != nil {
+		t.Fatalf("second RunFor: %v", err)
+	}
+	if !ran {
+		t.Fatal("event not executed after horizon extended")
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	s := New(1)
+	var at time.Time
+	s.After(time.Hour, "outer", func(now time.Time) {
+		s.At(now.Add(-time.Hour), "past", func(inner time.Time) { at = inner })
+	})
+	if err := s.RunFor(2 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if !at.Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("past event ran at %v, want clamp to %v", at, Epoch.Add(time.Hour))
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := New(1)
+	ran := false
+	id := s.After(time.Hour, "e", func(time.Time) { ran = true })
+	s.Cancel(id)
+	if err := s.RunFor(2 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if ran {
+		t.Fatal("cancelled event executed")
+	}
+}
+
+func TestStopReturnsErrStopped(t *testing.T) {
+	s := New(1)
+	s.After(time.Minute, "stopper", func(time.Time) { s.Stop() })
+	s.After(time.Hour, "later", func(time.Time) { t.Fatal("event after Stop executed") })
+	err := s.RunFor(2 * time.Hour)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+}
+
+func TestTickerFiresAtPeriod(t *testing.T) {
+	s := New(1)
+	var times []time.Time
+	s.Every(s.Now().Add(time.Hour), 30*time.Minute, "tick", func(now time.Time) {
+		times = append(times, now)
+	})
+	if err := s.RunFor(3 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if len(times) != 5 { // 1:00 1:30 2:00 2:30 3:00
+		t.Fatalf("ticker fired %d times, want 5 (%v)", len(times), times)
+	}
+	for i := 1; i < len(times); i++ {
+		if d := times[i].Sub(times[i-1]); d != 30*time.Minute {
+			t.Fatalf("tick interval %v, want 30m", d)
+		}
+	}
+}
+
+func TestTickerStopHaltsFiring(t *testing.T) {
+	s := New(1)
+	var tk *Ticker
+	n := 0
+	tk = s.Every(s.Now(), time.Hour, "tick", func(time.Time) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	if err := s.RunFor(10 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("ticker fired %d times after Stop at 3", n)
+	}
+	if tk.Fires() != 3 {
+		t.Fatalf("Fires() = %d, want 3", tk.Fires())
+	}
+}
+
+func TestRandStreamsAreIndependent(t *testing.T) {
+	a1 := New(42).Rand("alpha").Int63()
+	// Draw from another stream first; alpha must be unaffected.
+	s := New(42)
+	_ = s.Rand("beta").Int63()
+	a2 := s.Rand("alpha").Int63()
+	if a1 != a2 {
+		t.Fatalf("stream alpha perturbed by stream beta: %d != %d", a1, a2)
+	}
+}
+
+func TestRandDeterministicAcrossRuns(t *testing.T) {
+	x := New(7).Rand("w").Float64()
+	y := New(7).Rand("w").Float64()
+	if x != y {
+		t.Fatalf("same seed gave %v and %v", x, y)
+	}
+	z := New(8).Rand("w").Float64()
+	if x == z {
+		t.Fatal("different seeds gave identical first draw (suspicious)")
+	}
+}
+
+func TestProcessedCounts(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Minute, "e", func(time.Time) {})
+	}
+	if err := s.RunFor(time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if s.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", s.Processed())
+	}
+}
+
+func TestOnEventTracer(t *testing.T) {
+	s := New(1)
+	var names []string
+	s.OnEvent(func(name string, _ time.Time) { names = append(names, name) })
+	s.After(time.Minute, "one", func(time.Time) {})
+	s.After(2*time.Minute, "two", func(time.Time) {})
+	if err := s.RunFor(time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Fatalf("tracer saw %v", names)
+	}
+}
+
+func TestMidday(t *testing.T) {
+	ts := time.Date(2009, 9, 22, 8, 15, 0, 0, time.UTC)
+	want := time.Date(2009, 9, 22, 12, 0, 0, 0, time.UTC)
+	if got := Midday(ts); !got.Equal(want) {
+		t.Fatalf("Midday = %v, want %v", got, want)
+	}
+}
+
+func TestNextMidday(t *testing.T) {
+	cases := []struct {
+		in, want time.Time
+	}{
+		{time.Date(2009, 9, 22, 8, 0, 0, 0, time.UTC), time.Date(2009, 9, 22, 12, 0, 0, 0, time.UTC)},
+		{time.Date(2009, 9, 22, 12, 0, 0, 0, time.UTC), time.Date(2009, 9, 23, 12, 0, 0, 0, time.UTC)},
+		{time.Date(2009, 9, 22, 15, 0, 0, 0, time.UTC), time.Date(2009, 9, 23, 12, 0, 0, 0, time.UTC)},
+	}
+	for _, c := range cases {
+		if got := NextMidday(c.in); !got.Equal(c.want) {
+			t.Fatalf("NextMidday(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHourOfDay(t *testing.T) {
+	ts := time.Date(2009, 1, 1, 6, 30, 0, 0, time.UTC)
+	if got := HourOfDay(ts); got != 6.5 {
+		t.Fatalf("HourOfDay = %v, want 6.5", got)
+	}
+}
+
+// Property: for any set of offsets, events execute in nondecreasing time order.
+func TestPropertyEventsExecuteInTimeOrder(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New(99)
+		var times []time.Time
+		for _, off := range offsets {
+			s.After(time.Duration(off)*time.Second, "e", func(now time.Time) {
+				times = append(times, now)
+			})
+		}
+		if err := s.RunFor(24 * time.Hour); err != nil {
+			return false
+		}
+		if len(times) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i].Before(times[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextMidday is always strictly after its input and at hour 12.
+func TestPropertyNextMiddayStrictlyAfter(t *testing.T) {
+	f := func(sec uint32) bool {
+		ts := Epoch.Add(time.Duration(sec) * time.Second)
+		nm := NextMidday(ts)
+		return nm.After(ts) && nm.Hour() == 12 && nm.Sub(ts) <= 24*time.Hour
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

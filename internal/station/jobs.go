@@ -1,0 +1,369 @@
+package station
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/hw/gumstix"
+	"repro/internal/power"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+)
+
+// Control-message sizes on the GPRS link.
+const (
+	stateMsgBytes    = 96
+	overrideMsgBytes = 64
+	specialMsgBytes  = 1024
+	mcuDrainTime     = 2 * time.Minute
+	packageTime      = 3 * time.Minute
+	finishTime       = 1 * time.Minute
+	specialExecTime  = 1 * time.Minute
+)
+
+// --- Fig 4, step: "Get sub-glacial probe data" (base stations only) ---
+
+func (s *Station) enqueueProbeJobs() {
+	if s.channel == nil || len(s.probes) == 0 {
+		return
+	}
+	for _, pr := range s.probes {
+		pr := pr
+		s.enqueueWork("probe-fetch-"+itoa(pr.ID()), func(now time.Time) (time.Duration, func(time.Time)) {
+			if !pr.Alive(now) {
+				return 0, nil // vanished offline, like 3 of the 7 did
+			}
+			st, ok := s.fetchSt[pr.ID()]
+			if !ok {
+				st = protocol.NewState()
+				s.fetchSt[pr.ID()] = st
+			}
+			budget := s.remainingWindow(now)
+			if budget > 40*time.Minute {
+				budget = 40 * time.Minute
+			}
+			var res protocol.Result
+			if s.cfg.UseAckFetcher {
+				res = protocol.NewAckFetcher(protocol.DefaultAckConfig()).Fetch(now, s.channel, pr, budget, st)
+			} else {
+				res = protocol.NewNackFetcher(s.cfg.Fetch).Fetch(now, s.channel, pr, budget, st)
+			}
+			return res.Elapsed, func(done time.Time) {
+				s.cur.ProbeReadings += len(res.Got)
+				s.dayReadings = append(s.dayReadings, res.Got...)
+				if res.Err != nil {
+					s.cur.ProbeFetchErr = res.Err
+				}
+				if len(res.Got) > 0 {
+					name := fmt.Sprintf("probe%d-%d", pr.ID(), res.Got[0].Seq)
+					bytes := int64(len(res.Got)) * 24 // packed record size
+					s.spool.Add(storage.KindProbeData, name, bytes, done)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig 4, step: "Get readings from MSP" + "Calculate local power state" ---
+
+func (s *Station) enqueueMCUReadings() {
+	s.enqueueWork("mcu-readings", func(now time.Time) (time.Duration, func(time.Time)) {
+		samples := s.node.MCU.DrainSamples()
+		local := s.state
+		if avg, ok := power.DailyAverage(samples); ok {
+			local = power.StateForVoltage(avg)
+		}
+		return mcuDrainTime, func(done time.Time) {
+			s.cur.LocalState = local
+			if len(samples) > 0 {
+				s.spool.Add(storage.KindHousekeeping, "housekeeping", int64(len(samples))*24, done)
+			}
+			s.continueAfterPowerState(done, local)
+		}
+	})
+}
+
+// continueAfterPowerState queues the rest of the Fig 4 chain once the local
+// power state is known.
+func (s *Station) continueAfterPowerState(now time.Time, local power.State) {
+	plan := power.PlanFor(local)
+
+	// §VII extension: score the day's data before deciding silence.
+	var reason string
+	if s.cfg.Priority != nil {
+		s.cur.Priority, reason = s.cfg.Priority.Evaluate(s.dayReadings)
+		s.cur.PriorityReason = reason
+	}
+	s.dayReadings = nil
+
+	// Flowchart: "Power state = 0?" → yes → stop (no GPS drain, no GPRS) —
+	// unless the data warrants forcing a marginal-power session.
+	if !plan.GPRS {
+		if s.cfg.Priority != nil && s.cur.Priority >= ForceCommsThreshold {
+			s.enqueueForcedComms(local, reason)
+		}
+		s.enqueueFinish()
+		return
+	}
+	// "Power state > 1?" → yes → "Get GPS files".
+	if local > power.State1 {
+		s.enqueueGPSDrainOne()
+	}
+	s.enqueuePackage()
+	s.enqueueComms(local)
+	s.enqueueFinish()
+}
+
+// --- Fig 4, step: "Get GPS files" — strictly file by file (§VI) ---
+
+func (s *Station) enqueueGPSDrainOne() {
+	s.enqueueWork("gps-drain", s.gpsDrainWork)
+}
+
+// continueGPSDrain chains the next file at the head of the queue.
+func (s *Station) continueGPSDrain() {
+	s.enqueueWorkFront("gps-drain", s.gpsDrainWork)
+}
+
+func (s *Station) gpsDrainWork(now time.Time) (time.Duration, func(time.Time)) {
+	files := s.node.GPS.Files()
+	if len(files) == 0 {
+		return 0, nil
+	}
+	f := files[0]
+	// The deployed drain had no window awareness: it simply processed the
+	// next file and relied on the watchdog as the only bound. A file whose
+	// transfer outlives the window is killed mid-transfer (progress lost,
+	// file kept) — which is exactly the §VI single-file deadlock when the
+	// cable is so degraded that one file can never fit: the run dies here
+	// every day, comms never happen, and no remote command can land unless
+	// specials execute before the transfer.
+	t := f.TransferTime(s.rs232Health)
+	return t, func(done time.Time) {
+		name := fmt.Sprintf("dgps-%d", f.ID)
+		if err := s.card.Write(name, int64(f.SizeBytes), nil, done); err == nil {
+			s.spool.Add(storage.KindDGPSFile, name, int64(f.SizeBytes), done)
+			_ = s.node.GPS.Delete(f.ID)
+			s.cur.GPSFilesDrained++
+			// More files? Keep draining inside the window.
+			s.continueGPSDrain()
+		}
+	}
+}
+
+// --- Fig 4, step: "Package data to be sent" ---
+
+func (s *Station) enqueuePackage() {
+	s.enqueueWork("package-data", func(now time.Time) (time.Duration, func(time.Time)) {
+		return packageTime, func(done time.Time) {
+			// §VI log-volume lesson: per-reading debug output adds up fast
+			// on the first contact in months.
+			logBytes := s.cfg.LogBaseBytes + s.cfg.LogPerReadingBytes*int64(s.cur.ProbeReadings)
+			s.spool.Add(storage.KindLog, "daily-log", logBytes, done)
+		}
+	})
+}
+
+// --- Fig 4, comms: upload state → upload data → override → special ---
+
+func (s *Station) enqueueComms(local power.State) {
+	// Attach.
+	s.enqueueWork("gprs-attach", func(now time.Time) (time.Duration, func(time.Time)) {
+		s.node.MCU.SetRail(comms.GPRSRail, true)
+		return s.node.Modem.AttachTime(), func(done time.Time) {
+			if err := s.node.Modem.Attach(done); err != nil {
+				s.commsFailed()
+				return
+			}
+			s.cur.CommsOK = true
+		}
+	})
+	// "Upload power state" comes before the data so the peer station's
+	// override query later today can already see it.
+	s.enqueueTransfer("upload-state", stateMsgBytes, func(done time.Time) {
+		s.srv.UploadState(s.node.Name, local, done)
+	})
+	// "Upload data": one spool item at a time; a failure leaves the rest
+	// spooled for tomorrow.
+	s.enqueueUploadOne()
+	// Pending special outputs ride along (they arrive a day after
+	// execution — the §VI 24/48 h feedback lag).
+	s.enqueueWork("upload-special-outputs", func(now time.Time) (time.Duration, func(time.Time)) {
+		if !s.node.Modem.Attached() || len(s.pendingOutputs) == 0 {
+			return 0, nil
+		}
+		outs := s.pendingOutputs
+		s.pendingOutputs = nil
+		var total int64
+		for _, o := range outs {
+			total += int64(len(o.Output)) + 128
+		}
+		res := s.node.Modem.TryTransfer(now, total)
+		return res.Elapsed, func(done time.Time) {
+			if !res.Completed() {
+				s.pendingOutputs = outs // retry tomorrow
+				return
+			}
+			for _, o := range outs {
+				o.ReceivedAt = done
+				s.srv.ReportSpecialOutput(o)
+			}
+		}
+	})
+	// "Get override power state".
+	s.enqueueTransfer("get-override", overrideMsgBytes, func(done time.Time) {
+		ov := s.srv.OverrideFor(s.node.Name, done)
+		s.cur.Override = ov
+		s.cur.OverrideFetched = true
+	})
+	// "Get special" + execute — the as-deployed tail position.
+	if !s.cfg.SpecialFirst {
+		s.enqueueSpecialFetch()
+	}
+}
+
+// enqueueTransfer moves a small control message over the modem and applies
+// fn on success.
+func (s *Station) enqueueTransfer(name string, bytes int64, fn func(done time.Time)) {
+	s.enqueueWork(name, func(now time.Time) (time.Duration, func(time.Time)) {
+		if !s.node.Modem.Attached() {
+			return 0, nil
+		}
+		res := s.node.Modem.TryTransfer(now, bytes)
+		return res.Elapsed, func(done time.Time) {
+			if res.Completed() {
+				fn(done)
+			} else {
+				s.commsFailed()
+			}
+		}
+	})
+}
+
+// enqueueUploadOne sends the oldest spool item, then chains itself at the
+// queue head while items, window and session allow.
+func (s *Station) enqueueUploadOne() {
+	s.enqueueWork("upload-data", s.uploadWork)
+}
+
+func (s *Station) uploadWork(now time.Time) (time.Duration, func(time.Time)) {
+	if !s.node.Modem.Attached() {
+		return 0, nil
+	}
+	item, ok := s.spool.Peek()
+	if !ok {
+		return 0, nil
+	}
+	need := s.node.Modem.TransferTime(item.Bytes)
+	if need > s.remainingWindow(now) {
+		return 0, nil // leave it spooled; file-by-file, day by day
+	}
+	res := s.node.Modem.TryTransfer(now, item.Bytes)
+	return res.Elapsed, func(done time.Time) {
+		if !res.Completed() {
+			// Drop-out: session is gone; everything else waits.
+			s.commsFailed()
+			return
+		}
+		s.srv.UploadData(s.node.Name, item.Bytes, done)
+		_ = s.spool.MarkSent(item.ID)
+		s.cur.UploadedBytes += item.Bytes
+		s.cur.UploadedItems++
+		s.enqueueWorkFront("upload-data", s.uploadWork)
+	}
+}
+
+// enqueueSpecialFetch downloads and executes the next special command.
+func (s *Station) enqueueSpecialFetch() {
+	s.enqueueWork("get-special", func(now time.Time) (time.Duration, func(time.Time)) {
+		if !s.node.Modem.Attached() {
+			return 0, nil
+		}
+		res := s.node.Modem.TryTransfer(now, specialMsgBytes)
+		if !res.Completed() {
+			return res.Elapsed, func(time.Time) { s.commsFailed() }
+		}
+		sp, ok := s.srv.FetchSpecial(s.node.Name, now)
+		if !ok {
+			return res.Elapsed, nil
+		}
+		return res.Elapsed + specialExecTime, func(done time.Time) {
+			s.executeSpecial(sp, done)
+		}
+	})
+}
+
+// enqueueEarlySpecial is the §VI fix: a minimal comms session before any
+// transfer, so remote code can unblock a wedged station.
+func (s *Station) enqueueEarlySpecial() {
+	s.enqueueWork("early-special", func(now time.Time) (time.Duration, func(time.Time)) {
+		s.node.MCU.SetRail(comms.GPRSRail, true)
+		d := s.node.Modem.AttachTime()
+		return d, func(attachDone time.Time) {
+			if err := s.node.Modem.Attach(attachDone); err != nil {
+				s.node.MCU.SetRail(comms.GPRSRail, false)
+				return
+			}
+			res := s.node.Modem.TryTransfer(attachDone, specialMsgBytes)
+			if res.Completed() {
+				if sp, ok := s.srv.FetchSpecial(s.node.Name, attachDone); ok {
+					s.executeSpecial(sp, attachDone)
+				}
+			}
+			s.node.Modem.Detach()
+			s.node.MCU.SetRail(comms.GPRSRail, false)
+		}
+	})
+}
+
+func (s *Station) commsFailed() {
+	s.stats.CommsFailures++
+	if s.cur != nil {
+		s.cur.CommsOK = false
+	}
+	s.node.Modem.Detach()
+	s.node.MCU.SetRail(comms.GPRSRail, false)
+}
+
+// --- Fig 4, step: "Stop" ---
+
+func (s *Station) enqueueFinish() {
+	s.enqueueWork("finish", func(now time.Time) (time.Duration, func(time.Time)) {
+		return finishTime, func(done time.Time) {
+			s.finishRun(done, true)
+			m := s.node.MCU
+			m.CancelAlarm(s.wdID)
+			m.SetRail(comms.GPRSRail, false)
+			m.SetRail(gumstix.Rail, false)
+		}
+	})
+}
+
+// finishRun closes out the daily report and adopts the next power state.
+func (s *Station) finishRun(at time.Time, clean bool) {
+	if s.cur == nil {
+		return
+	}
+	r := *s.cur
+	r.WallElapsed = at.Sub(s.runStart)
+	if clean {
+		eff := power.Effective(r.LocalState, r.Override, r.OverrideFetched)
+		r.Effective = eff
+		s.state = eff
+		s.node.MCU.SetLastRun(at)
+		s.stats.CompletedRuns++
+	} else {
+		r.Effective = s.state
+	}
+	// Tomorrow's dGPS duty cycle follows the adopted state. (The daily wake
+	// was already scheduled at wake time.)
+	s.scheduleGPS(at)
+	s.cur = nil
+	s.reports = append(s.reports, r)
+	for _, fn := range s.onReport {
+		fn(r)
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

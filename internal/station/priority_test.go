@@ -1,0 +1,147 @@
+package station
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/power"
+	"repro/internal/probe"
+)
+
+func TestConductivitySpikeEvaluator(t *testing.T) {
+	e := NewConductivitySpikeEvaluator()
+	quiet := []probe.Reading{{ConductivityUS: 1.2}, {ConductivityUS: 2.0}}
+	p, reason := e.Evaluate(quiet)
+	if p >= ForceCommsThreshold {
+		t.Fatalf("quiet readings scored %v", p)
+	}
+	if reason != "" {
+		t.Fatalf("quiet readings got a reason %q", reason)
+	}
+	spike := append(quiet, probe.Reading{ConductivityUS: 12.5, At: time.Date(2009, 4, 1, 3, 0, 0, 0, time.UTC)})
+	p, reason = e.Evaluate(spike)
+	if p < ForceCommsThreshold {
+		t.Fatalf("spike scored only %v", p)
+	}
+	if reason == "" {
+		t.Fatal("spike got no reason")
+	}
+}
+
+func TestEvaluatorEmptyReadings(t *testing.T) {
+	p, _ := NewConductivitySpikeEvaluator().Evaluate(nil)
+	if p != 0 {
+		t.Fatalf("no readings scored %v", p)
+	}
+}
+
+// spikeEvaluator forces full priority unconditionally (test double).
+type spikeEvaluator struct{}
+
+func (spikeEvaluator) Evaluate(rs []probe.Reading) (float64, string) {
+	if len(rs) == 0 {
+		return 0, ""
+	}
+	return 1, "test spike"
+}
+
+// The §VII extension end to end: a station whose battery only allows
+// state 0 still gets high-priority probe data out the same day.
+func TestPriorityForcesCommsInState0(t *testing.T) {
+	run := func(withPriority bool) (forced bool, uploaded int64) {
+		cfg := DefaultConfig(RoleBase)
+		if withPriority {
+			cfg.Priority = spikeEvaluator{}
+		}
+		r := newRig(t, rigOpts{
+			seed:     21,
+			soc:      0.02, // deep discharge: local state 0
+			chargers: []energy.Charger{},
+			probes:   1,
+			cfg:      cfg,
+		})
+		r.runDays(t, 1)
+		rep := r.st.Reports()[0]
+		if rep.LocalState != power.State0 {
+			t.Skipf("local state %v, scenario needs 0", rep.LocalState)
+		}
+		return rep.ForcedComms, rep.UploadedBytes
+	}
+
+	forced, uploaded := run(true)
+	if !forced {
+		t.Fatal("priority evaluator did not force comms in state 0")
+	}
+	if uploaded == 0 {
+		t.Fatal("forced session uploaded nothing")
+	}
+	forced, uploaded = run(false)
+	if forced || uploaded != 0 {
+		t.Fatalf("as-deployed state-0 day communicated anyway (forced=%v sent=%d)", forced, uploaded)
+	}
+}
+
+// In any state above 0 the normal session runs; priority is recorded but
+// never forces anything extra.
+func TestPriorityRecordedButNotForcedAboveState0(t *testing.T) {
+	cfg := DefaultConfig(RoleBase)
+	cfg.Priority = spikeEvaluator{}
+	r := newRig(t, rigOpts{probes: 1, cfg: cfg})
+	r.runDays(t, 1)
+	rep := r.st.Reports()[0]
+	if rep.LocalState == power.State0 {
+		t.Skip("battery landed in state 0")
+	}
+	if rep.Priority != 1 {
+		t.Fatalf("priority not recorded: %v", rep.Priority)
+	}
+	if rep.ForcedComms {
+		t.Fatal("forced-comms flag set on a normal day")
+	}
+}
+
+// The forced session must be minimal: it never drains dGPS files.
+func TestForcedCommsSkipsGPSDrain(t *testing.T) {
+	cfg := DefaultConfig(RoleBase)
+	cfg.Priority = spikeEvaluator{}
+	r := newRig(t, rigOpts{
+		seed:     21,
+		soc:      0.02,
+		chargers: []energy.Charger{},
+		probes:   1,
+		cfg:      cfg,
+	})
+	r.st.Node().GPS.InjectBacklog(5, r.sim.Now())
+	r.runDays(t, 1)
+	rep := r.st.Reports()[0]
+	if rep.LocalState != power.State0 {
+		t.Skipf("local state %v, scenario needs 0", rep.LocalState)
+	}
+	if rep.GPSFilesDrained != 0 {
+		t.Fatal("forced marginal-power session drained dGPS files")
+	}
+}
+
+// Pitch/roll future-work sensors: flat in winter, leaning in summer melt.
+func TestHousekeepingPitchRollTrackMelt(t *testing.T) {
+	winter := newRig(t, rigOpts{seed: 4, start: time.Date(2009, 1, 10, 0, 0, 0, 0, time.UTC)})
+	winter.runDays(t, 1)
+	summer := newRig(t, rigOpts{seed: 4, start: time.Date(2009, 7, 10, 0, 0, 0, 0, time.UTC)})
+	summer.runDays(t, 1)
+
+	maxPitch := func(r *rig) float64 {
+		samples := r.st.Node().MCU.DrainSamples()
+		var m float64
+		for _, s := range samples {
+			if s.PitchDeg > m {
+				m = s.PitchDeg
+			}
+		}
+		return m
+	}
+	w, s := maxPitch(winter), maxPitch(summer)
+	if s <= w+1 {
+		t.Fatalf("summer pitch %v not clearly above winter %v (melt settling)", s, w)
+	}
+}

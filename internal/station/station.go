@@ -1,0 +1,415 @@
+// Package station implements the Glacsweb station runtime: the daily
+// execution sequence of Fig 4, the two-hour safety watchdog, power-state
+// scheduling, the communications session with Southampton, special-command
+// execution and log management.
+//
+// The same runtime drives both stations; a base station additionally owns
+// the sub-glacial probe fetch. The flowchart order is reproduced exactly —
+// including the as-deployed mistake of executing the special command *after*
+// the data upload, which §VI identifies as the cause of the
+// single-file-too-big deadlock (set Config.SpecialFirst to run the paper's
+// suggested fix instead).
+package station
+
+import (
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/core"
+	"repro/internal/hw/dgps"
+	"repro/internal/hw/gumstix"
+	"repro/internal/hw/mcu"
+	"repro/internal/power"
+	"repro/internal/probe"
+	"repro/internal/protocol"
+	"repro/internal/recovery"
+	"repro/internal/server"
+	"repro/internal/simenv"
+	"repro/internal/storage"
+)
+
+// Role distinguishes the two station kinds.
+type Role int
+
+// Station roles.
+const (
+	// RoleBase is the on-glacier base station with sub-glacial probes.
+	RoleBase Role = iota + 1
+	// RoleReference is the fixed dGPS reference station at the café.
+	RoleReference
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleBase:
+		return "base"
+	case RoleReference:
+		return "reference"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterises a station runtime.
+type Config struct {
+	// Role selects base or reference behaviour.
+	Role Role
+	// WatchdogLimit is the §VI safety timeout: "prevents the system from
+	// running for more than two hours at a time".
+	WatchdogLimit time.Duration
+	// SpecialFirst applies the paper's suggested reordering: fetch and
+	// execute the special command before any data transfer, so remote
+	// intervention can unblock a wedged station.
+	SpecialFirst bool
+	// Fetch configures the probe bulk-fetch protocol (base only).
+	Fetch protocol.NackConfig
+	// UseAckFetcher swaps in the stop-and-wait baseline (experiments).
+	UseAckFetcher bool
+	// RS232Health scales the dGPS drain rate (1 = nominal; small values
+	// model the intermittent cable behind the single-file deadlock).
+	RS232Health float64
+	// LogBaseBytes is per-run log volume before per-reading output.
+	LogBaseBytes int64
+	// LogPerReadingBytes models chatty per-reading debug output — the §VI
+	// lesson about a first contact in months producing >1 MB of logs.
+	LogPerReadingBytes int64
+	// InitialState is the power state assumed on first boot.
+	InitialState power.State
+	// Priority enables the paper's §VII extension: when the day's probe
+	// data scores at or above ForceCommsThreshold, a state-0 day still
+	// runs a minimal comms session. Nil (as deployed) disables it.
+	Priority PriorityEvaluator
+}
+
+// DefaultConfig returns the as-deployed configuration.
+func DefaultConfig(role Role) Config {
+	return Config{
+		Role:               role,
+		WatchdogLimit:      2 * time.Hour,
+		SpecialFirst:       false,
+		Fetch:              protocol.DefaultNackConfig(),
+		RS232Health:        1.0,
+		LogBaseBytes:       4 * 1024,
+		LogPerReadingBytes: 48,
+		InitialState:       power.State2,
+	}
+}
+
+// RunReport summarises one daily run for traces and experiments.
+type RunReport struct {
+	// Date is the run's wake time (RTC).
+	Date time.Time
+	// LocalState is the voltage-derived state.
+	LocalState power.State
+	// Override is what the server returned (valid only if OverrideFetched).
+	Override power.State
+	// OverrideFetched reports whether the server was reachable.
+	OverrideFetched bool
+	// Effective is the state adopted for the next day.
+	Effective power.State
+	// ProbeReadings is how many probe readings arrived (base only).
+	ProbeReadings int
+	// ProbeFetchErr carries a fetch failure, if any.
+	ProbeFetchErr error
+	// GPSFilesDrained counts dGPS files moved off the unit this run.
+	GPSFilesDrained int
+	// UploadedBytes is the volume confirmed to Southampton.
+	UploadedBytes int64
+	// UploadedItems counts spool items confirmed sent.
+	UploadedItems int
+	// CommsOK reports whether the GPRS session worked at all.
+	CommsOK bool
+	// SpecialExecuted is the ID of the special run this cycle (0 = none).
+	SpecialExecuted uint64
+	// WatchdogTripped reports whether the 2 h limit cut the run short.
+	WatchdogTripped bool
+	// WallElapsed is how long the Gumstix was up.
+	WallElapsed time.Duration
+	// Priority is the day's data-priority score (§VII extension; 0 when
+	// the evaluator is disabled).
+	Priority float64
+	// PriorityReason explains a non-zero priority.
+	PriorityReason string
+	// ForcedComms reports a marginal-power session forced by priority.
+	ForcedComms bool
+}
+
+// Stats aggregates lifetime station counters.
+type Stats struct {
+	// Runs counts daily wake-ups.
+	Runs int
+	// CompletedRuns counts runs that reached the finish step.
+	CompletedRuns int
+	// WatchdogTrips counts 2 h cutoffs.
+	WatchdogTrips int
+	// CommsFailures counts days the GPRS session failed entirely.
+	CommsFailures int
+	// SpecialsExecuted counts remote commands run.
+	SpecialsExecuted int
+	// Recoveries counts completed §IV clock recoveries.
+	Recoveries int
+}
+
+// Station is one deployed station runtime driving a core.Node.
+type Station struct {
+	node *core.Node
+	cfg  Config
+	srv  *server.Server
+
+	// Base-station extras.
+	channel *comms.ProbeChannel
+	probes  []*probe.Probe
+	fetchSt map[int]*protocol.State
+	wired   *comms.WiredProbeLink
+
+	card  *storage.CFCard
+	spool *storage.Spool
+	rec   *recovery.Coordinator
+
+	state    power.State
+	stats    Stats
+	cur      *RunReport
+	runStart time.Time
+	wdID     mcu.AlarmID
+
+	specials        *SpecialRegistry
+	pendingOutputs  []server.SpecialOutput
+	onReport        []func(RunReport)
+	reports         []RunReport
+	rs232Health     float64
+	watchdogArmedAt time.Time
+	dayReadings     []probe.Reading
+}
+
+// New builds a station runtime on a node. srv is the Southampton server
+// (reached over the node's GPRS modem); probes and channel may be nil for a
+// reference station.
+func New(node *core.Node, srv *server.Server, channel *comms.ProbeChannel, probes []*probe.Probe, cfg Config) *Station {
+	def := DefaultConfig(cfg.Role)
+	if cfg.Role == 0 {
+		cfg.Role = RoleBase
+	}
+	if cfg.WatchdogLimit == 0 {
+		cfg.WatchdogLimit = def.WatchdogLimit
+	}
+	if cfg.RS232Health == 0 {
+		cfg.RS232Health = def.RS232Health
+	}
+	if cfg.LogBaseBytes == 0 {
+		cfg.LogBaseBytes = def.LogBaseBytes
+	}
+	if cfg.LogPerReadingBytes == 0 {
+		cfg.LogPerReadingBytes = def.LogPerReadingBytes
+	}
+	// A zero InitialState is power.State0, which is a legitimate starting
+	// point (§IV restarts there), so it is taken at face value; use
+	// DefaultConfig for the deployed State2 start.
+	s := &Station{
+		node:        node,
+		cfg:         cfg,
+		srv:         srv,
+		channel:     channel,
+		probes:      probes,
+		fetchSt:     make(map[int]*protocol.State),
+		wired:       &comms.WiredProbeLink{},
+		card:        storage.NewCFCard(4 << 30), // the 4 GB CF card
+		spool:       storage.NewSpool(),
+		state:       cfg.InitialState,
+		rs232Health: cfg.RS232Health,
+	}
+	s.specials = NewSpecialRegistry(s)
+	s.rec = recovery.New(node.MCU, node.GPS, s.afterRecovery)
+
+	node.MCU.OnBoot(func(rtcNow time.Time, cold bool) {
+		// Warm boots mean the battery died and came back: §IV applies.
+		if s.rec.CheckAndRecover() {
+			return
+		}
+		s.writeSchedule(rtcNow)
+	})
+	node.Host.OnBoot(s.onGumstixBoot)
+
+	// Cold start: the bench-set clock is correct; record it and schedule.
+	now := node.MCU.Now()
+	node.MCU.SetLastRun(now)
+	s.writeSchedule(now)
+	return s
+}
+
+// Node returns the underlying hardware node.
+func (s *Station) Node() *core.Node { return s.node }
+
+// State returns the station's current effective power state.
+func (s *Station) State() power.State { return s.state }
+
+// Stats returns a copy of lifetime counters.
+func (s *Station) Stats() Stats { return s.stats }
+
+// Spool exposes the upload spool (tests, experiments).
+func (s *Station) Spool() *storage.Spool { return s.spool }
+
+// Card exposes the CF card (tests, experiments).
+func (s *Station) Card() *storage.CFCard { return s.card }
+
+// Recovery exposes the §IV coordinator's stats.
+func (s *Station) Recovery() recovery.Stats { return s.rec.Stats() }
+
+// Reports returns all daily run reports, oldest first.
+func (s *Station) Reports() []RunReport {
+	out := make([]RunReport, len(s.reports))
+	copy(out, s.reports)
+	return out
+}
+
+// OnReport registers a callback fired at the end of every daily run.
+func (s *Station) OnReport(fn func(RunReport)) { s.onReport = append(s.onReport, fn) }
+
+// SetRS232Health adjusts the dGPS drain-rate fraction (fault injection).
+func (s *Station) SetRS232Health(f float64) { s.rs232Health = f }
+
+// WiredProbe exposes the wired-probe link for failure injection.
+func (s *Station) WiredProbe() *comms.WiredProbeLink { return s.wired }
+
+// afterRecovery is the §IV completion hook: restart in state 0 with a
+// fresh schedule.
+func (s *Station) afterRecovery(rtcNow time.Time) {
+	s.state = power.State0
+	s.stats.Recoveries++
+	s.writeSchedule(rtcNow)
+}
+
+// writeSchedule (re)writes the RAM schedule: the next midday wake and the
+// dGPS duty cycle for the current state. Everything here is lost on power
+// failure, exactly like the real MSP430.
+func (s *Station) writeSchedule(rtcNow time.Time) {
+	m := s.node.MCU
+	wake := simenv.NextMidday(rtcNow)
+	m.AlarmAt(wake, "daily-wake", s.dailyWake)
+	s.scheduleGPS(rtcNow)
+}
+
+// scheduleGPS arms the next 24 h of dGPS readings per the current plan.
+// The microcontroller owns dGPS timing — "the execution of software on the
+// Gumstix does not cause drift in the timings of the dGPS".
+func (s *Station) scheduleGPS(rtcNow time.Time) {
+	m := s.node.MCU
+	plan := power.PlanFor(s.state)
+	n := plan.GPSReadingsPerDay
+	if n <= 0 {
+		return
+	}
+	interval := 24 * time.Hour / time.Duration(n)
+	// First reading at the next whole interval boundary after now; a
+	// single daily reading lands at 11:00 so the file is ready for the
+	// midday window.
+	start := simenv.StartOfDay(rtcNow).Add(11 * time.Hour)
+	if n > 1 {
+		start = simenv.StartOfDay(rtcNow)
+	}
+	for start.Before(rtcNow.Add(time.Minute)) {
+		start = start.Add(interval)
+	}
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(i) * interval)
+		m.AlarmAt(at, "gps-reading", func(time.Time) {
+			if !m.Alive() {
+				return
+			}
+			m.SetRail(dgps.Rail, true)
+			m.AlarmAfter(dgps.ReadingDuration+30*time.Second, "gps-off", func(time.Time) {
+				m.SetRail(dgps.Rail, false)
+			})
+		})
+	}
+}
+
+// dailyWake is the midday MCU alarm: power the Gumstix, arm the watchdog,
+// and schedule tomorrow's wake so a crashed run cannot lose the schedule.
+func (s *Station) dailyWake(rtcNow time.Time) {
+	m := s.node.MCU
+	if !m.Alive() {
+		return
+	}
+	s.stats.Runs++
+	s.cur = &RunReport{Date: rtcNow, Override: -1}
+	s.runStart = rtcNow
+	s.watchdogArmedAt = rtcNow
+
+	// Tomorrow's schedule first: resilience over elegance.
+	m.AlarmAt(simenv.NextMidday(rtcNow), "daily-wake", s.dailyWake)
+
+	// The §VI watchdog: no run may exceed two hours.
+	s.wdID = m.AlarmAfter(s.cfg.WatchdogLimit, "watchdog", func(at time.Time) {
+		if s.node.Host.Powered() {
+			s.stats.WatchdogTrips++
+			if s.cur != nil {
+				s.cur.WatchdogTripped = true
+				s.finishRun(at, false)
+			}
+			m.SetRail(gumstix.Rail, false)
+			m.SetRail(comms.GPRSRail, false)
+		}
+	})
+
+	m.SetRail(gumstix.Rail, true)
+}
+
+// onGumstixBoot queues the Fig 4 daily sequence.
+func (s *Station) onGumstixBoot(now time.Time) {
+	if s.cur == nil { // booted outside a daily run (tests/experiments)
+		return
+	}
+	if s.cfg.SpecialFirst {
+		// The paper's suggested fix: remote code runs before any transfer.
+		s.enqueueEarlySpecial()
+	}
+	if s.cfg.Role == RoleBase {
+		s.enqueueProbeJobs()
+	}
+	s.enqueueMCUReadings()
+	// The rest of the chain is decided after the power state is known; see
+	// continueAfterPowerState.
+}
+
+// remainingWindow returns how much of the watchdog window is left, minus a
+// small safety margin for the finish step.
+func (s *Station) remainingWindow(now time.Time) time.Duration {
+	elapsed := now.Sub(s.watchdogArmedAt)
+	left := s.cfg.WatchdogLimit - elapsed - 5*time.Minute
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
+func (s *Station) host() *gumstix.Host { return s.node.Host }
+
+// enqueueWork wraps the compute-at-start pattern: work runs when the job
+// starts, returning the simulated duration it occupies; apply fires at
+// completion.
+func (s *Station) enqueueWork(name string, work func(now time.Time) (time.Duration, func(now time.Time))) {
+	s.host().Enqueue(s.workJob(name, work))
+}
+
+// enqueueWorkFront is enqueueWork at the head of the queue — for chained
+// continuations that must finish before later phases of the day run.
+func (s *Station) enqueueWorkFront(name string, work func(now time.Time) (time.Duration, func(now time.Time))) {
+	s.host().EnqueueFront(s.workJob(name, work))
+}
+
+func (s *Station) workJob(name string, work func(now time.Time) (time.Duration, func(now time.Time))) gumstix.Job {
+	var apply func(time.Time)
+	return gumstix.Job{
+		Name: name,
+		Duration: func(now time.Time) time.Duration {
+			d, fn := work(now)
+			apply = fn
+			return d
+		},
+		Run: func(now time.Time) {
+			if apply != nil {
+				apply(now)
+			}
+		},
+	}
+}

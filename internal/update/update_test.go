@@ -1,0 +1,125 @@
+package update
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2009, 10, 1, 12, 0, 0, 0, time.UTC)
+
+func art(name, version, body string) Artifact {
+	return Artifact{Name: name, Version: version, Payload: []byte(body)}
+}
+
+func TestChecksumStable(t *testing.T) {
+	a := art("fetcher.py", "v2", "print('hello')")
+	if a.Checksum() != a.Checksum() {
+		t.Fatal("checksum not deterministic")
+	}
+	b := art("fetcher.py", "v2", "print('hellO')")
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("different payloads share a checksum")
+	}
+	if len(a.Checksum()) != 32 {
+		t.Fatalf("md5 hex length %d", len(a.Checksum()))
+	}
+}
+
+func TestCleanInstall(t *testing.T) {
+	ins := NewInstaller()
+	a := art("fetcher.py", "v2", "code")
+	var beacons []string
+	err := ins.Install(a, ManifestFor(a), t0, func(_, sum string) { beacons = append(beacons, sum) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ins.Installed("fetcher.py")
+	if !ok || got.Version != "v2" {
+		t.Fatalf("installed %+v ok=%v", got, ok)
+	}
+	if len(beacons) != 1 || beacons[0] != a.Checksum() {
+		t.Fatalf("beacons %v", beacons)
+	}
+	h := ins.History()
+	if len(h) != 1 || !h[0].OK {
+		t.Fatalf("history %+v", h)
+	}
+}
+
+func TestCorruptDownloadKeepsOldVersion(t *testing.T) {
+	ins := NewInstaller()
+	v1 := art("fetcher.py", "v1", "old code")
+	if err := ins.Install(v1, ManifestFor(v1), t0, nil); err != nil {
+		t.Fatal(err)
+	}
+	v2 := art("fetcher.py", "v2", "new code with a fix")
+	m := ManifestFor(v2)
+	corrupt := CorruptInTransit(v2, 0.2, func(i int) float64 {
+		if i == 3 {
+			return 0 // damage byte 3
+		}
+		return 1
+	})
+	var beaconSum string
+	err := ins.Install(corrupt, m, t0.Add(24*time.Hour), func(_, sum string) { beaconSum = sum })
+	if !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("want ErrChecksumMismatch, got %v", err)
+	}
+	// Old version must survive.
+	got, _ := ins.Installed("fetcher.py")
+	if got.Version != "v1" {
+		t.Fatalf("installed %q after failed update, want v1", got.Version)
+	}
+	// The beacon carries the *computed* sum so Southampton sees the
+	// corruption immediately.
+	if beaconSum == "" || beaconSum == m.MD5 {
+		t.Fatalf("beacon sum %q should be the corrupt digest, manifest %q", beaconSum, m.MD5)
+	}
+}
+
+func TestRetryAfterCorruptionSucceeds(t *testing.T) {
+	ins := NewInstaller()
+	v2 := art("fetcher.py", "v2", "new code")
+	m := ManifestFor(v2)
+	corrupt := CorruptInTransit(v2, 1.0, func(int) float64 { return 0 })
+	if err := ins.Install(corrupt, m, t0, nil); err == nil {
+		t.Fatal("corrupt install succeeded")
+	}
+	// Next day's re-download is clean.
+	if err := ins.Install(v2, m, t0.Add(24*time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ins.Installed("fetcher.py")
+	if got.Version != "v2" {
+		t.Fatalf("installed %q, want v2", got.Version)
+	}
+	h := ins.History()
+	if len(h) != 2 || h[0].OK || !h[1].OK {
+		t.Fatalf("history %+v", h)
+	}
+}
+
+func TestNameMismatchRejected(t *testing.T) {
+	ins := NewInstaller()
+	a := art("other.py", "v1", "x")
+	if err := ins.Install(a, Manifest{Name: "fetcher.py", MD5: a.Checksum()}, t0, nil); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+}
+
+func TestNilBeaconAllowed(t *testing.T) {
+	ins := NewInstaller()
+	a := art("f", "v", "x")
+	if err := ins.Install(a, ManifestFor(a), t0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptInTransitDoesNotMutateOriginal(t *testing.T) {
+	a := art("f", "v", "pristine")
+	_ = CorruptInTransit(a, 1, func(int) float64 { return 0 })
+	if string(a.Payload) != "pristine" {
+		t.Fatal("original artifact mutated")
+	}
+}

@@ -1,0 +1,266 @@
+// Package weather provides a synthetic but physically plausible climate model
+// for the Vatnajökull deployment site (~64°N). It substitutes for the real
+// Iceland weather that drove the paper's field results: solar irradiance and
+// wind speed feed the charging model, temperature and snow depth gate the
+// wind turbine and bury antennas, and the melt-water index drives both the
+// summer degradation of the probe radio link and the end-of-winter
+// conductivity rise shown in the paper's Fig 6.
+//
+// Sample is a pure function of (config, time): it derives all stochastic
+// texture from hash noise keyed on the day number, so callers may sample any
+// instants in any order and always observe the same climate trace for a
+// given seed.
+package weather
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/simenv"
+)
+
+// Conditions is an instantaneous sample of site weather.
+type Conditions struct {
+	// SolarIrradiance is the solar power on a horizontal surface, W/m².
+	SolarIrradiance float64
+	// WindSpeed at turbine height, m/s.
+	WindSpeed float64
+	// AirTempC is air temperature in °C.
+	AirTempC float64
+	// SnowDepthM is snow depth over the station, metres.
+	SnowDepthM float64
+	// MeltIndex is 0 in deep winter rising towards 1 in high summer; it
+	// proxies the amount of surface melt water reaching the glacier bed.
+	MeltIndex float64
+	// Storm reports whether a storm is in progress (high wind, no sun).
+	Storm bool
+}
+
+// Config parameterises the climate model.
+type Config struct {
+	// Seed selects the stochastic texture (storm placement, cloud noise).
+	Seed int64
+	// LatitudeDeg of the site; Vatnajökull is ~64.3°N.
+	LatitudeDeg float64
+	// PeakIrradiance is clear-sky summer midday irradiance, W/m².
+	PeakIrradiance float64
+	// MeanWind is the annual mean wind speed, m/s.
+	MeanWind float64
+	// MaxSnowDepthM is the late-winter snow pack depth, metres.
+	MaxSnowDepthM float64
+	// StormsPerMonth is the expected number of multi-day storms per month.
+	StormsPerMonth float64
+}
+
+// DefaultConfig returns values tuned for the Iceland deployment site.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		LatitudeDeg:    64.3,
+		PeakIrradiance: 650,
+		MeanWind:       7.5,
+		MaxSnowDepthM:  2.5,
+		StormsPerMonth: 2.0,
+	}
+}
+
+// Model is an immutable climate model; safe for concurrent use.
+type Model struct {
+	cfg Config
+}
+
+// New constructs a Model. Zero fields in cfg are filled from DefaultConfig.
+func New(cfg Config) *Model {
+	def := DefaultConfig(cfg.Seed)
+	if cfg.LatitudeDeg == 0 {
+		cfg.LatitudeDeg = def.LatitudeDeg
+	}
+	if cfg.PeakIrradiance == 0 {
+		cfg.PeakIrradiance = def.PeakIrradiance
+	}
+	if cfg.MeanWind == 0 {
+		cfg.MeanWind = def.MeanWind
+	}
+	if cfg.MaxSnowDepthM == 0 {
+		cfg.MaxSnowDepthM = def.MaxSnowDepthM
+	}
+	if cfg.StormsPerMonth == 0 {
+		cfg.StormsPerMonth = def.StormsPerMonth
+	}
+	return &Model{cfg: cfg}
+}
+
+// Config returns the model's effective configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Sample returns the conditions at time ts. It is deterministic in (cfg, ts).
+func (m *Model) Sample(ts time.Time) Conditions {
+	ts = ts.UTC()
+	doy := simenv.DayOfYear(ts)
+	hod := simenv.HourOfDay(ts)
+	storm := m.stormAt(ts)
+
+	cloud := m.cloudiness(ts)
+	if storm {
+		cloud = 0.95
+	}
+	irr := m.clearSkyIrradiance(doy, hod) * (1 - 0.85*cloud)
+
+	snow := m.snowDepth(doy)
+	// Deep snow buries the solar panel (the paper: snow "would even stop"
+	// the wind source in Iceland; panels fare no better).
+	if snow > 1.5 {
+		irr *= math.Max(0, 1-(snow-1.5)) // linearly extinguished by 2.5 m
+	}
+
+	wind := m.windSpeed(ts, storm)
+	temp := m.temperature(doy, hod, storm)
+
+	return Conditions{
+		SolarIrradiance: irr,
+		WindSpeed:       wind,
+		AirTempC:        temp,
+		SnowDepthM:      snow,
+		MeltIndex:       m.MeltIndex(ts),
+		Storm:           storm,
+	}
+}
+
+// MeltIndex returns the melt-water index for ts: 0 through deep winter,
+// ramping up from early April (day ~95) to a summer plateau, declining
+// through autumn. This is the signal behind the paper's Fig 6 conductivity
+// rise "at the end of winter".
+func (m *Model) MeltIndex(ts time.Time) float64 {
+	doy := float64(simenv.DayOfYear(ts.UTC()))
+	const (
+		onset = 80.0  // late March
+		peak  = 190.0 // early July
+		stop  = 285.0 // mid October
+	)
+	switch {
+	case doy < onset || doy > stop:
+		return 0
+	case doy <= peak:
+		x := (doy - onset) / (peak - onset)
+		return smoothstep(x)
+	default:
+		x := (stop - doy) / (stop - peak)
+		return smoothstep(x)
+	}
+}
+
+// clearSkyIrradiance computes horizontal irradiance from solar elevation.
+func (m *Model) clearSkyIrradiance(doy int, hod float64) float64 {
+	elev := SolarElevation(m.cfg.LatitudeDeg, doy, hod)
+	if elev <= 0 {
+		return 0
+	}
+	return m.cfg.PeakIrradiance * math.Sin(elev)
+}
+
+// SolarElevation returns the solar elevation angle in radians for the given
+// latitude (degrees), day of year and hour of day (UTC ~ solar time at the
+// site's longitude, an adequate approximation for an energy model).
+func SolarElevation(latDeg float64, doy int, hod float64) float64 {
+	lat := latDeg * math.Pi / 180
+	decl := -23.44 * math.Pi / 180 * math.Cos(2*math.Pi*(float64(doy)+10)/365.25)
+	hourAngle := (hod - 12) / 24 * 2 * math.Pi
+	sinElev := math.Sin(lat)*math.Sin(decl) + math.Cos(lat)*math.Cos(decl)*math.Cos(hourAngle)
+	return math.Asin(clamp(sinElev, -1, 1))
+}
+
+func (m *Model) cloudiness(ts time.Time) float64 {
+	day := dayIndex(ts)
+	a := m.noise("cloud", day)
+	b := m.noise("cloud", day+1)
+	frac := simenv.HourOfDay(ts) / 24
+	base := a*(1-frac) + b*frac
+	// Iceland is cloudy: bias towards overcast.
+	return clamp(0.25+0.65*base, 0, 1)
+}
+
+func (m *Model) windSpeed(ts time.Time, storm bool) float64 {
+	day := dayIndex(ts)
+	a := m.noise("wind", day)
+	b := m.noise("wind", day+1)
+	frac := simenv.HourOfDay(ts) / 24
+	base := a*(1-frac) + b*frac
+	// Weibull-ish: mean wind scaled by [0.2, 2.2] texture; winter is windier.
+	doy := simenv.DayOfYear(ts)
+	seasonal := 1 + 0.35*math.Cos(2*math.Pi*float64(doy)/365.25)
+	v := m.cfg.MeanWind * seasonal * (0.2 + 2.0*base)
+	if storm {
+		v = math.Max(v, 18+12*m.noise("gust", day))
+	}
+	return v
+}
+
+func (m *Model) temperature(doy int, hod float64, storm bool) float64 {
+	seasonal := -8 + 10*math.Sin(2*math.Pi*(float64(doy)-110)/365.25)
+	diurnal := 2.5 * math.Sin(2*math.Pi*(hod-9)/24)
+	t := seasonal + diurnal
+	if storm {
+		t -= 3
+	}
+	return t
+}
+
+// snowDepth models accumulation from October to April and melt May-September.
+func (m *Model) snowDepth(doy int) float64 {
+	d := float64(doy)
+	const (
+		accumStart = 280.0 // early October
+		accumEnd   = 105.0 // mid April (next year)
+		meltEnd    = 200.0 // late July
+	)
+	max := m.cfg.MaxSnowDepthM
+	switch {
+	case d >= accumStart: // Oct-Dec: building
+		return max * (d - accumStart) / (365 - accumStart + accumEnd)
+	case d <= accumEnd: // Jan-Apr: still building
+		return max * (365 - accumStart + d) / (365 - accumStart + accumEnd)
+	case d <= meltEnd: // Apr-Jul: melting
+		return max * (1 - (d-accumEnd)/(meltEnd-accumEnd))
+	default: // Aug-Sep: bare
+		return 0
+	}
+}
+
+// stormAt reports whether a storm is active at ts. Storms are placed
+// deterministically: each ~15-day window contains a storm with probability
+// StormsPerMonth/2, lasting 1-3 days.
+func (m *Model) stormAt(ts time.Time) bool {
+	window := dayIndex(ts) / 15
+	p := clamp(m.cfg.StormsPerMonth/2, 0, 1)
+	if m.noise("storm-occur", window) >= p {
+		return false
+	}
+	startOffset := m.noise("storm-start", window) * 12 // day in window
+	length := 1 + m.noise("storm-len", window)*2       // 1-3 days
+	dayInWindow := float64(dayIndex(ts)%15) + simenv.HourOfDay(ts)/24
+	return dayInWindow >= startOffset && dayInWindow < startOffset+length
+}
+
+// noise returns a deterministic uniform [0,1) value keyed on (seed, tag, k).
+func (m *Model) noise(tag string, k int) float64 {
+	return simenv.HashNoise(m.cfg.Seed, tag, uint64(k))
+}
+
+func dayIndex(ts time.Time) int {
+	return int(ts.UTC().Unix() / 86400)
+}
+
+func smoothstep(x float64) float64 {
+	x = clamp(x, 0, 1)
+	return x * x * (3 - 2*x)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
