@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -107,6 +108,28 @@ func BenchmarkFig4DailyRunEvents(b *testing.B) {
 		}
 	}
 	b.ReportMetric(perDay, "events/day")
+}
+
+// BenchmarkFleetDay measures a whole fleet day at 2/8/32 stations — the
+// scaling surface the Topology/Scenario API opens up. events/station-day
+// should stay roughly flat: the simulator is the shared resource, the
+// stations only couple through the server's min-rule.
+func BenchmarkFleetDay(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("stations-%d", n), func(b *testing.B) {
+			d, err := deploy.Build(deploy.FleetTopology(42, n, 3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Sim.RunFor(24 * time.Hour); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(d.Sim.Processed())/float64(b.N)/float64(n), "events/station-day")
+		})
+	}
 }
 
 // --- Fig 5: voltage model ---

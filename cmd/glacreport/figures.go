@@ -18,7 +18,7 @@ import (
 // fig3 runs three deployment days and shows the final architecture as data
 // flows: each station independently to Southampton, never to each other.
 func fig3(seed int64) error {
-	d := deploy.New(deploy.DefaultConfig(seed))
+	d := deploy.MustBuild(deploy.AsDeployed(seed))
 	if err := d.RunDays(3); err != nil {
 		return err
 	}
@@ -48,7 +48,7 @@ func fig3(seed int64) error {
 // fig4 traces one daily run and prints the executed steps in order,
 // matching the paper's flowchart.
 func fig4(seed int64) error {
-	d := deploy.New(deploy.DefaultConfig(seed))
+	d := deploy.MustBuild(deploy.AsDeployed(seed))
 	type step struct {
 		at   time.Time
 		name string
@@ -90,9 +90,9 @@ func fig4(seed int64) error {
 // voltage curve, the station initially held in state 2 by the remote
 // override, then released to state 3 where the 2-hourly dGPS dips appear.
 func fig5(seed int64) error {
-	cfg := deploy.DefaultConfig(seed)
-	cfg.Start = time.Date(2009, 9, 15, 0, 0, 0, 0, time.UTC)
-	d := deploy.New(cfg)
+	top := deploy.AsDeployed(seed)
+	top.Start = time.Date(2009, 9, 15, 0, 0, 0, 0, time.UTC)
+	d := deploy.MustBuild(top)
 
 	volts, _ := trace.Sample(d.Sim, 10*time.Minute, "voltage", "V",
 		func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })

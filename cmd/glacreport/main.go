@@ -7,8 +7,8 @@
 //	glacreport -exp all          # everything
 //	glacreport -exp t1,t2,f5     # a subset
 //
-// Experiment IDs: t1 t2 f3 f4 f5 f6 x1 x2 x3 x4 x5 x6 x7 x8 (see DESIGN.md
-// §4 for the index).
+// Experiment IDs: t1 t2 f3 f4 f5 f6 x1 x2 x3 x4 x5 x6 x7 x8 x9 ext1 (see
+// EXPERIMENTS.md for the index).
 package main
 
 import (
@@ -45,6 +45,7 @@ func main() {
 		{"x6", "§IV — schedule/RTC recovery after total depletion", func() error { return expRecovery(*seed) }},
 		{"x7", "§V — probe cohort survival", func() error { return expSurvival() }},
 		{"x8", "§VI — remote update feedback latency", func() error { return expUpdate(*seed) }},
+		{"x9", "§III — min-rule coordination at fleet scale (8 stations)", func() error { return expFleet(*seed) }},
 		{"ext1", "§VII extension — priority data forcing marginal-power comms", func() error { return expPriority(*seed) }},
 	}
 

@@ -1,9 +1,12 @@
-// Command glacsim runs a configurable simulated Glacsweb deployment and
-// prints daily run reports plus a final summary.
+// Command glacsim runs a simulated Glacsweb deployment — the paper's
+// two-station system or any registered fleet scenario — and prints daily
+// run reports plus a deterministic fleet summary.
 //
 // Usage:
 //
-//	glacsim -days 120 -seed 42 -probes 7 [-start 2008-09-01] [-v]
+//	glacsim -days 120 -seed 42 [-scenario as-deployed-2008] [-v]
+//	glacsim -scenario fleet-N -stations 8 -days 30
+//	glacsim -list
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/scenario"
 	"repro/internal/station"
 	"repro/internal/trace"
 )
@@ -26,57 +30,77 @@ func main() {
 
 func run() error {
 	var (
-		days    = flag.Int("days", 120, "simulated days to run")
-		csvPath = flag.String("csv", "", "write the base station's voltage trace as CSV")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		probes  = flag.Int("probes", 7, "sub-glacial probe count")
-		start   = flag.String("start", "2008-09-01", "start date (YYYY-MM-DD)")
-		verbose = flag.Bool("v", false, "print every daily run report")
-		fixed   = flag.Bool("special-first", false, "apply the §VI special-before-upload fix")
+		scen     = flag.String("scenario", "as-deployed-2008", "registered scenario name (see -list)")
+		list     = flag.Bool("list", false, "list registered scenarios and exit")
+		days     = flag.Int("days", 0, "simulated days to run (0 = the scenario's default horizon)")
+		stations = flag.Int("stations", 0, "fleet size for parameterised scenarios (fleet-N)")
+		csvPath  = flag.String("csv", "", "write the first base station's voltage trace as CSV")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		probes   = flag.Int("probes", 0, "per-base probe cohort size (0 = scenario default)")
+		start    = flag.String("start", "", "start date override (YYYY-MM-DD; empty = scenario default)")
+		verbose  = flag.Bool("v", false, "print every daily run report")
+		fixed    = flag.Bool("special-first", false, "apply the §VI special-before-upload fix on every station")
 	)
 	flag.Parse()
 
-	t0, err := time.Parse("2006-01-02", *start)
-	if err != nil {
-		return fmt.Errorf("bad -start: %w", err)
+	if *list {
+		for _, s := range scenario.List() {
+			fmt.Printf("%-18s %3dd  %s\n", s.Name, s.DefaultDays, s.Description)
+		}
+		return nil
 	}
 
-	cfg := deploy.DefaultConfig(*seed)
-	cfg.Start = t0
-	cfg.NumProbes = *probes
-	cfg.Base.SpecialFirst = *fixed
-	cfg.Reference.SpecialFirst = *fixed
-	d := deploy.New(cfg)
+	if *days < 0 || *stations < 0 || *probes < 0 {
+		return fmt.Errorf("-days, -stations and -probes must be >= 0")
+	}
+	s, ok := scenario.Lookup(*scen)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try -list)", *scen)
+	}
+	params := scenario.Params{Seed: *seed, Stations: *stations, Probes: *probes, Days: *days}
+	top := s.Topology(params)
+	if *start != "" {
+		t0, err := time.Parse("2006-01-02", *start)
+		if err != nil {
+			return fmt.Errorf("bad -start: %w", err)
+		}
+		top.Start = t0
+	}
+	if *fixed {
+		// Partial runtime overrides merge with the role defaults in Build.
+		for i := range top.Stations {
+			top.Stations[i].Runtime.SpecialFirst = true
+		}
+	}
+
+	d, err := deploy.Build(top)
+	if err != nil {
+		return err
+	}
 
 	var volts *trace.Series
 	if *csvPath != "" {
+		if d.Base == nil {
+			return fmt.Errorf("-csv needs a base station in the scenario")
+		}
 		volts, _ = trace.Sample(d.Sim, 10*time.Minute, "base_volts", "V",
 			func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })
 	}
 
 	if *verbose {
-		d.Base.OnReport(func(r station.RunReport) { printReport("base", r) })
-		d.Reference.OnReport(func(r station.RunReport) { printReport("ref ", r) })
+		for _, st := range d.Stations {
+			name := st.Name()
+			st.OnReport(func(r station.RunReport) { printReport(name, r) })
+		}
 	}
 
-	if err := d.RunDays(*days); err != nil {
+	horizon := s.Horizon(params)
+	if err := d.RunDays(horizon); err != nil {
 		return err
 	}
 
-	fmt.Printf("=== %d simulated days (seed %d) ===\n", *days, *seed)
-	for name, st := range map[string]*station.Station{"base": d.Base, "ref": d.Reference} {
-		s := st.Stats()
-		fmt.Printf("%-5s runs=%d completed=%d watchdog=%d commsFail=%d specials=%d recoveries=%d state=%v soc=%.2f spool=%d\n",
-			name, s.Runs, s.CompletedRuns, s.WatchdogTrips, s.CommsFailures,
-			s.SpecialsExecuted, s.Recoveries, st.State(), st.Node().Battery.SoC(), st.Spool().Len())
-	}
-	alive := 0
-	for _, p := range d.Probes {
-		if p.Alive(d.Sim.Now()) {
-			alive++
-		}
-	}
-	fmt.Printf("probes alive: %d/%d\n", alive, len(d.Probes))
+	fmt.Printf("=== scenario %s: %d simulated days ===\n", s.Name, horizon)
+	fmt.Print(d.Result())
 	if volts != nil {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -88,15 +112,11 @@ func run() error {
 		}
 		fmt.Printf("voltage trace (%d samples) written to %s\n", volts.Len(), *csvPath)
 	}
-	for _, rec := range d.Server.Stations() {
-		fmt.Printf("server<-%s: %.2f MB in %d uploads, last state %v\n",
-			rec.Name, float64(rec.BytesReceived)/(1<<20), rec.Uploads, rec.LastState)
-	}
 	return nil
 }
 
 func printReport(name string, r station.RunReport) {
-	fmt.Printf("%s %s local=%v ov=%2d eff=%v probes=%4d gps=%2d up=%7dB comms=%-5v wd=%-5v %v\n",
+	fmt.Printf("%-9s %s local=%v ov=%2d eff=%v probes=%4d gps=%2d up=%7dB comms=%-5v wd=%-5v %v\n",
 		name, r.Date.Format("2006-01-02"), r.LocalState, int(r.Override), r.Effective,
 		r.ProbeReadings, r.GPSFilesDrained, r.UploadedBytes, r.CommsOK, r.WatchdogTripped,
 		r.WallElapsed.Round(time.Minute))

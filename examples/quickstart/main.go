@@ -1,6 +1,7 @@
-// Quickstart: wire the full simulated deployment (Fig 3 architecture — base
-// station, reference station, seven sub-glacial probes, Southampton server),
-// run it for two simulated months, and look at what came back.
+// Quickstart: build the paper's deployment by scenario name (Fig 3
+// architecture — base station, reference station, seven sub-glacial probes,
+// Southampton server), run it for two simulated months, and look at the
+// fleet Result.
 package main
 
 import (
@@ -11,7 +12,10 @@ import (
 )
 
 func main() {
-	d := repro.NewDeployment(repro.DefaultDeploymentConfig(42))
+	d, err := repro.BuildScenario("as-deployed-2008", repro.ScenarioParams{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
 
 	// Record the base station's battery voltage for a quick chart.
 	volts, _ := repro.SampleSeries(d.Sim, 30*time.Minute, "base battery", "V",
@@ -22,26 +26,14 @@ func main() {
 	}
 
 	fmt.Println("== two simulated months on Vatnajökull ==")
-	for _, st := range []*repro.Station{d.Base, d.Reference} {
-		s := st.Stats()
-		fmt.Printf("%-9s runs=%d completed=%d commsFailures=%d watchdogTrips=%d state=%v\n",
-			st.Node().Name, s.Runs, s.CompletedRuns, s.CommsFailures, s.WatchdogTrips, st.State())
-	}
-
-	alive := 0
-	for _, p := range d.Probes {
-		if p.Alive(d.Sim.Now()) {
-			alive++
-		}
-	}
-	fmt.Printf("probes alive: %d/%d\n", alive, len(d.Probes))
-
-	for _, rec := range d.Server.Stations() {
-		fmt.Printf("Southampton <- %-5s %.1f MB in %d uploads (last state %v)\n",
-			rec.Name, float64(rec.BytesReceived)/(1<<20), rec.Uploads, rec.LastState)
-	}
+	fmt.Print(d.Result())
 
 	fmt.Println("\nbase battery voltage, last 4 days (diurnal peak at midday):")
 	last4 := volts.Window(d.Sim.Now().Add(-4*24*time.Hour), d.Sim.Now())
 	fmt.Print(repro.ASCIIChart(72, 10, last4))
+
+	fmt.Println("\nother registered scenarios:")
+	for _, s := range repro.ListScenarios() {
+		fmt.Printf("  %-18s %s\n", s.Name, s.Description)
+	}
 }

@@ -15,8 +15,10 @@ import (
 )
 
 func main() {
-	cfg := repro.DefaultDeploymentConfig(2008)
-	d := repro.NewDeployment(cfg)
+	d, err := repro.BuildScenario("as-deployed-2008", repro.ScenarioParams{Seed: 2008})
+	if err != nil {
+		panic(err)
+	}
 
 	// Track the base station's adopted power state per day.
 	stateByMonth := map[string][4]int{}
@@ -46,13 +48,9 @@ func main() {
 		cur = cur.AddDate(0, 1, 0)
 	}
 
-	bs, rs := d.Base.Stats(), d.Reference.Stats()
-	fmt.Printf("\nbase: %d runs, %d watchdog trips, %d comms failures, %d recoveries\n",
-		bs.Runs, bs.WatchdogTrips, bs.CommsFailures, bs.Recoveries)
-	fmt.Printf("ref:  %d runs, %d watchdog trips, %d comms failures, %d recoveries\n",
-		rs.Runs, rs.WatchdogTrips, rs.CommsFailures, rs.Recoveries)
-	fmt.Printf("base battery now: %.0f%% — power failures: %d\n",
-		d.Base.Node().Battery.SoC()*100, d.Base.Node().Bus.FailCount())
+	fmt.Println()
+	fmt.Print(d.Result())
+	fmt.Printf("base power failures: %d\n", d.Base.Node().Bus.FailCount())
 
 	fmt.Println("\ndeep-winter voltage (two weeks in January):")
 	jan := volts.Window(

@@ -18,11 +18,17 @@
 // algorithms run unchanged on the simulated platform. See DESIGN.md for the
 // full system inventory and EXPERIMENTS.md for the reproduced evaluation.
 //
-// Quick start:
+// Quick start — the paper's pair, by scenario name:
 //
-//	d := repro.NewDeployment(repro.DeploymentConfig{Seed: 42})
+//	d, _ := repro.BuildScenario("as-deployed-2008", repro.ScenarioParams{Seed: 42})
 //	_ = d.RunDays(120)
-//	fmt.Println(d.Base.Stats())
+//	fmt.Print(d.Result())
+//
+// or any fleet, declaratively:
+//
+//	d, _ := repro.Build(repro.FleetTopology(42, 8, 3))
+//	_ = d.RunDays(30)
+//	fmt.Print(d.Result())
 package repro
 
 import (
@@ -35,6 +41,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/probe"
 	"repro/internal/protocol"
+	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/simenv"
 	"repro/internal/station"
@@ -43,14 +50,33 @@ import (
 	"repro/internal/weather"
 )
 
-// Re-exported deployment types: a Deployment wires the full Fig 3
-// architecture (base station, reference station, probe cohort, Southampton
-// server) on one simulator.
+// Re-exported deployment types: a Topology declares a fleet of
+// StationSpecs, Build wires it into a running Deployment on one simulator,
+// and Result rolls the fleet up per station and in total. The paper's
+// Fig 3 architecture is just the two-entry AsDeployedTopology.
 type (
-	// Deployment is a fully wired simulated field system.
+	// Deployment is a fully wired simulated field system of any size.
 	Deployment = deploy.Deployment
-	// DeploymentConfig parameterises NewDeployment.
+	// DeploymentConfig parameterises NewDeployment (classic two-station).
 	DeploymentConfig = deploy.Config
+	// Topology declares a fleet: stations, climate, faults.
+	Topology = deploy.Topology
+	// StationSpec declares one station of a Topology.
+	StationSpec = deploy.StationSpec
+	// Fault is one injected deployment fault.
+	Fault = deploy.Fault
+	// FaultKind enumerates injectable faults.
+	FaultKind = deploy.FaultKind
+	// Result is a deterministic per-station + fleet roll-up.
+	Result = deploy.Result
+	// StationResult is one station's roll-up inside a Result.
+	StationResult = deploy.StationResult
+	// FleetTotals aggregates a Result across the fleet.
+	FleetTotals = deploy.FleetTotals
+	// Scenario is a named, registered deployment shape.
+	Scenario = scenario.Scenario
+	// ScenarioParams parameterises a scenario build.
+	ScenarioParams = scenario.Params
 	// Station is one station runtime (base or reference).
 	Station = station.Station
 	// StationConfig parameterises a station runtime.
@@ -94,6 +120,50 @@ const (
 	RoleBase      = station.RoleBase
 	RoleReference = station.RoleReference
 )
+
+// Injectable fault kinds.
+const (
+	FaultRS232         = deploy.FaultRS232
+	FaultBatterySoC    = deploy.FaultBatterySoC
+	FaultStuckLoad     = deploy.FaultStuckLoad
+	FaultMainsBlackout = deploy.FaultMainsBlackout
+)
+
+// Build wires a fleet from a declarative topology.
+func Build(t Topology) (*Deployment, error) { return deploy.Build(t) }
+
+// MustBuild is Build for topologies known to be valid; it panics on error.
+func MustBuild(t Topology) *Deployment { return deploy.MustBuild(t) }
+
+// BaseSpec returns a base-station spec with a probe cohort.
+func BaseSpec(name string, numProbes int) StationSpec { return deploy.BaseSpec(name, numProbes) }
+
+// ReferenceSpec returns a reference-station spec.
+func ReferenceSpec(name string) StationSpec { return deploy.ReferenceSpec(name) }
+
+// AsDeployedTopology is the paper's Fig 3 pair: one base with the
+// seven-probe cohort, one reference station.
+func AsDeployedTopology(seed int64) Topology { return deploy.AsDeployed(seed) }
+
+// FleetTopology is an n-station fleet: one reference plus n-1 bases, each
+// with its own probe cohort and radio cell.
+func FleetTopology(seed int64, n, probesPerBase int) Topology {
+	return deploy.FleetTopology(seed, n, probesPerBase)
+}
+
+// RegisterScenario adds a scenario to the package catalogue.
+func RegisterScenario(s Scenario) error { return scenario.Register(s) }
+
+// LookupScenario returns the named scenario.
+func LookupScenario(name string) (Scenario, bool) { return scenario.Lookup(name) }
+
+// ListScenarios returns every registered scenario sorted by name.
+func ListScenarios() []Scenario { return scenario.List() }
+
+// BuildScenario looks a scenario up by name and wires its deployment.
+func BuildScenario(name string, p ScenarioParams) (*Deployment, error) {
+	return scenario.Build(name, p)
+}
 
 // NewDeployment wires a complete simulated deployment. Zero-value fields of
 // cfg are filled with the as-deployed defaults (7 probes, September 2008

@@ -28,6 +28,53 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+// The scenario/fleet surface works end to end through the facade.
+func TestFacadeScenarioFleet(t *testing.T) {
+	if len(repro.ListScenarios()) < 5 {
+		t.Fatalf("only %d scenarios registered", len(repro.ListScenarios()))
+	}
+	if _, ok := repro.LookupScenario("fleet-N"); !ok {
+		t.Fatal("fleet-N not registered")
+	}
+	d, err := repro.BuildScenario("fleet-N", repro.ScenarioParams{Seed: 1, Stations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunDays(2); err != nil {
+		t.Fatal(err)
+	}
+	res := d.Result()
+	if res.Fleet.Stations != 3 || res.Fleet.Runs != 6 {
+		t.Fatalf("fleet result %+v", res.Fleet)
+	}
+	if d.Base == nil || d.Reference == nil {
+		t.Fatal("compatibility accessors not set")
+	}
+}
+
+// Declarative topologies with faults build through the facade.
+func TestFacadeTopologyWithFault(t *testing.T) {
+	top := repro.Topology{
+		Seed: 4,
+		Stations: []repro.StationSpec{
+			repro.BaseSpec("b", 1),
+			repro.ReferenceSpec("r"),
+		},
+		Faults: []repro.Fault{{Station: "b", Kind: repro.FaultBatterySoC, Value: 0.3}},
+	}
+	d, err := repro.Build(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soc := d.Base.Node().Battery.SoC(); soc > 0.31 {
+		t.Fatalf("fault not applied: soc %.2f", soc)
+	}
+	st, ok := d.Station("r")
+	if !ok || st.Role() != repro.RoleReference {
+		t.Fatal("named lookup through facade failed")
+	}
+}
+
 func TestFacadePowerStateHelpers(t *testing.T) {
 	if repro.StateForVoltage(12.6) != repro.PowerState3 {
 		t.Fatal("StateForVoltage wrong")

@@ -1,14 +1,19 @@
-// Package deploy wires a complete Iceland deployment: the Vatnajökull
-// weather, the Southampton server, the on-glacier base station with its
-// sub-glacial probe cohort, and the dGPS reference station at the café —
-// Fig 3's final system architecture, ready to run for simulated months.
+// Package deploy wires complete simulated Glacsweb deployments. A
+// declarative Topology lists the fleet's StationSpecs — the paper's Fig 3
+// pair is just the two-entry AsDeployed topology — and Build turns it into
+// a running Deployment: the Vatnajökull weather, the Southampton server,
+// the base stations with their sub-glacial probe cohorts, and the dGPS
+// reference stations, ready to run for simulated months.
+//
+// Stations never talk to each other (§III); every coordination path runs
+// through the server's min-rule, which generalises to N stations by name.
+// That is why nothing here limits a topology to one base + one reference.
 package deploy
 
 import (
 	"time"
 
 	"repro/internal/comms"
-	"repro/internal/core"
 	"repro/internal/probe"
 	"repro/internal/server"
 	"repro/internal/simenv"
@@ -19,7 +24,8 @@ import (
 // DefaultStart is the deployment scenarios' t0: the 2008 field season.
 var DefaultStart = time.Date(2008, time.September, 1, 0, 0, 0, 0, time.UTC)
 
-// Config parameterises a deployment.
+// Config parameterises the classic two-station deployment. It remains the
+// compatibility surface over Topology: New(cfg) == MustBuild(cfg.Topology()).
 type Config struct {
 	// Seed drives every stochastic process.
 	Seed int64
@@ -48,7 +54,25 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// Deployment is a fully wired simulated field system.
+// Topology converts the two-station Config into the declarative form:
+// one base ("base") with the probe cohort, one reference ("ref").
+func (cfg Config) Topology() Topology {
+	if cfg.NumProbes == 0 {
+		cfg.NumProbes = 7
+	}
+	return Topology{
+		Seed:          cfg.Seed,
+		Start:         cfg.Start,
+		Weather:       cfg.Weather,
+		ProbeLifetime: cfg.ProbeLifetime,
+		Stations: []StationSpec{
+			{Name: "base", Role: station.RoleBase, NumProbes: cfg.NumProbes, Runtime: cfg.Base},
+			{Name: "ref", Role: station.RoleReference, Runtime: cfg.Reference},
+		},
+	}
+}
+
+// Deployment is a fully wired simulated field system of any size.
 type Deployment struct {
 	// Sim is the shared simulator.
 	Sim *simenv.Simulator
@@ -56,65 +80,56 @@ type Deployment struct {
 	WX *weather.Model
 	// Server is Southampton.
 	Server *server.Server
-	// Base is the on-glacier station.
+	// Topology is the resolved topology the fleet was built from.
+	Topology Topology
+	// Stations is the fleet, in topology order.
+	Stations []*station.Station
+	// Base is the first base station — compatibility alias for the
+	// paper's two-station wiring.
 	Base *station.Station
-	// Reference is the café station.
+	// Reference is the first reference station — compatibility alias.
 	Reference *station.Station
-	// Probes is the sub-glacial cohort.
+	// Probes is the fleet-wide sub-glacial cohort, in topology order.
 	Probes []*probe.Probe
-	// Channel is the probe radio medium.
+	// Channel is the first base station's probe radio medium —
+	// compatibility alias; per-station cells via ProbeChannel.
 	Channel *comms.ProbeChannel
+
+	byName   map[string]*station.Station
+	probesBy map[string][]*probe.Probe
+	channels map[string]*comms.ProbeChannel
 }
 
-// New wires a deployment.
+// New wires the classic two-station deployment.
 func New(cfg Config) *Deployment {
-	if cfg.Start.IsZero() {
-		cfg.Start = DefaultStart
-	}
-	if cfg.NumProbes == 0 {
-		cfg.NumProbes = 7
-	}
-	if cfg.Base.Role == 0 {
-		cfg.Base = station.DefaultConfig(station.RoleBase)
-	}
-	if cfg.Reference.Role == 0 {
-		cfg.Reference = station.DefaultConfig(station.RoleReference)
-	}
-	wcfg := cfg.Weather
-	if wcfg.Seed == 0 {
-		wcfg.Seed = cfg.Seed
-	}
+	return MustBuild(cfg.Topology())
+}
 
-	sim := simenv.NewAt(cfg.Seed, cfg.Start)
-	wx := weather.New(wcfg)
-	srv := server.New()
+// Station returns the named station.
+func (d *Deployment) Station(name string) (*station.Station, bool) {
+	st, ok := d.byName[name]
+	return st, ok
+}
 
-	// Probe cohort: IDs follow the paper's numbering (21, 22, ...).
-	channel := comms.NewProbeChannel(sim, wx, comms.ProbeRadioConfig{})
-	probes := make([]*probe.Probe, 0, cfg.NumProbes)
-	for i := 0; i < cfg.NumProbes; i++ {
-		pcfg := probe.DefaultConfig(21 + i)
-		if cfg.ProbeLifetime != 0 {
-			pcfg.MeanLifetime = cfg.ProbeLifetime
-		}
-		probes = append(probes, probe.New(sim, wx, pcfg))
+// StationNames returns the fleet's names in topology order.
+func (d *Deployment) StationNames() []string {
+	names := make([]string, len(d.Topology.Stations))
+	for i, sp := range d.Topology.Stations {
+		names[i] = sp.Name
 	}
+	return names
+}
 
-	baseNode := core.NewNode(sim, wx, core.BaseStationConfig("base"))
-	refNode := core.NewNode(sim, wx, core.ReferenceStationConfig("ref"))
+// StationProbes returns the named station's own cohort (nil for
+// reference stations).
+func (d *Deployment) StationProbes(name string) []*probe.Probe {
+	return d.probesBy[name]
+}
 
-	base := station.New(baseNode, srv, channel, probes, cfg.Base)
-	ref := station.New(refNode, srv, nil, nil, cfg.Reference)
-
-	return &Deployment{
-		Sim:       sim,
-		WX:        wx,
-		Server:    srv,
-		Base:      base,
-		Reference: ref,
-		Probes:    probes,
-		Channel:   channel,
-	}
+// ProbeChannel returns the named base station's radio cell (nil for
+// stations without a cohort).
+func (d *Deployment) ProbeChannel(name string) *comms.ProbeChannel {
+	return d.channels[name]
 }
 
 // RunDays advances the deployment by whole days.

@@ -1,0 +1,391 @@
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/probe"
+	"repro/internal/protocol"
+	"repro/internal/server"
+	"repro/internal/simenv"
+	"repro/internal/station"
+	"repro/internal/weather"
+)
+
+// FirstProbeID is where automatic probe numbering starts — the paper's
+// cohort is numbered from 21.
+const FirstProbeID = 21
+
+// StationSpec declares one station of a Topology: its name, role, hardware
+// fit, probe cohort and runtime overrides. The zero value of every field
+// means "the as-deployed default for the role".
+type StationSpec struct {
+	// Name is the fleet-unique station name — how the Southampton server
+	// identifies it. Empty names are filled in by Build ("base", "base2",
+	// ..., "ref", "ref2", ...).
+	Name string
+	// Role selects base or reference behaviour.
+	Role station.Role
+	// NumProbes is the station's sub-glacial cohort size. Only base-role
+	// stations fetch probes; 0 means no cohort.
+	NumProbes int
+	// ProbeIDs pins the cohort's probe IDs. When empty, Build numbers the
+	// cohort from the fleet-wide counter (21, 22, ...). When set, its
+	// length must equal NumProbes.
+	ProbeIDs []int
+	// Runtime overrides the station runtime configuration. With Role
+	// left zero it is a partial override merged onto
+	// station.DefaultConfig(Role) — station.Config{SpecialFirst: true}
+	// keeps the deployed defaults for everything else. With Role set the
+	// config is honoured verbatim (station.New fills the remaining zero
+	// fields; a zero InitialState then means power state 0, the §IV
+	// restart point).
+	Runtime station.Config
+	// Hardware overrides the node fit; nil selects the role's deployed
+	// fit (core.BaseStationConfig / core.ReferenceStationConfig). The
+	// node name is always forced to the spec name.
+	Hardware *core.NodeConfig
+	// ProbeLifetime overrides the cohort's mean lifetime (0 = the
+	// topology-wide value, then the probe default).
+	ProbeLifetime time.Duration
+}
+
+// FaultKind enumerates the injectable deployment faults.
+type FaultKind int
+
+// Injectable fault kinds.
+const (
+	// FaultRS232 degrades the dGPS serial link; Value is the health
+	// fraction (1 = nominal, small values reproduce the §VI single-file
+	// deadlock).
+	FaultRS232 FaultKind = iota + 1
+	// FaultBatterySoC forces the initial battery state of charge to Value.
+	FaultBatterySoC
+	// FaultStuckLoad pins Value watts on the power bus — the hung-transfer
+	// failure mode behind the §IV recovery story.
+	FaultStuckLoad
+	// FaultMainsBlackout removes mains chargers from the station's fit
+	// (the café loses power); Value is ignored.
+	FaultMainsBlackout
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultRS232:
+		return "rs232"
+	case FaultBatterySoC:
+		return "battery-soc"
+	case FaultStuckLoad:
+		return "stuck-load"
+	case FaultMainsBlackout:
+		return "mains-blackout"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one injected fault, applied at build time.
+type Fault struct {
+	// Station targets one station by name; empty targets every station.
+	Station string
+	// Kind selects the fault.
+	Kind FaultKind
+	// Value parameterises the fault (see FaultKind).
+	Value float64
+}
+
+// Topology declares a whole fleet: the stations, the shared climate and
+// server, and any injected faults. Stations never talk to each other
+// (§III), so nothing here limits the fleet to the paper's pair — the
+// server's min-rule generalises to N stations by name.
+type Topology struct {
+	// Seed drives every stochastic process.
+	Seed int64
+	// Start is the simulation start time; zero means DefaultStart.
+	Start time.Time
+	// Stations declares the fleet, in order.
+	Stations []StationSpec
+	// Weather overrides the climate; zero value gets the Iceland defaults.
+	Weather weather.Config
+	// ProbeLifetime overrides every cohort's mean lifetime (0 = default).
+	ProbeLifetime time.Duration
+	// Faults are injected at build time.
+	Faults []Fault
+}
+
+// BaseSpec returns a base-station spec with a probe cohort.
+func BaseSpec(name string, numProbes int) StationSpec {
+	return StationSpec{Name: name, Role: station.RoleBase, NumProbes: numProbes}
+}
+
+// ReferenceSpec returns a reference-station spec.
+func ReferenceSpec(name string) StationSpec {
+	return StationSpec{Name: name, Role: station.RoleReference}
+}
+
+// AsDeployed returns the paper's Fig 3 topology: one base station with the
+// seven-probe cohort and one reference station, starting September 2008.
+func AsDeployed(seed int64) Topology {
+	return Topology{
+		Seed: seed,
+		Stations: []StationSpec{
+			BaseSpec("base", 7),
+			ReferenceSpec("ref"),
+		},
+	}
+}
+
+// FleetTopology returns an n-station fleet: one reference station plus n-1
+// base stations, each with its own probe cohort and radio cell. Station
+// names are zero-padded so fleet output sorts in build order.
+func FleetTopology(seed int64, n, probesPerBase int) Topology {
+	if n < 2 {
+		n = 2
+	}
+	if probesPerBase <= 0 {
+		probesPerBase = 3
+	}
+	specs := make([]StationSpec, 0, n)
+	for i := 1; i < n; i++ {
+		specs = append(specs, BaseSpec(fmt.Sprintf("base-%02d", i), probesPerBase))
+	}
+	specs = append(specs, ReferenceSpec("ref-01"))
+	return Topology{Seed: seed, Stations: specs}
+}
+
+// resolve fills in defaults and validates the topology, returning the
+// resolved copy Build works from.
+func (t Topology) resolve() (Topology, error) {
+	if len(t.Stations) == 0 {
+		return t, fmt.Errorf("deploy: topology has no stations")
+	}
+	if t.Start.IsZero() {
+		t.Start = DefaultStart
+	}
+	if t.Weather.Seed == 0 {
+		w := t.Weather
+		w.Seed = t.Seed
+		t.Weather = w
+	}
+	specs := make([]StationSpec, len(t.Stations))
+	copy(specs, t.Stations)
+	names := make(map[string]bool, len(specs))
+	pinnedIDs := map[int]bool{}
+	roleCount := map[station.Role]int{}
+	for i := range specs {
+		sp := &specs[i]
+		if sp.Role == 0 {
+			sp.Role = station.RoleBase
+		}
+		if sp.Role != station.RoleBase && sp.Role != station.RoleReference {
+			return t, fmt.Errorf("deploy: station %d has unknown role %d", i, sp.Role)
+		}
+		roleCount[sp.Role]++
+		if sp.Name == "" {
+			prefix := "base"
+			if sp.Role == station.RoleReference {
+				prefix = "ref"
+			}
+			if n := roleCount[sp.Role]; n > 1 {
+				sp.Name = fmt.Sprintf("%s%d", prefix, n)
+			} else {
+				sp.Name = prefix
+			}
+		}
+		if names[sp.Name] {
+			return t, fmt.Errorf("deploy: duplicate station name %q", sp.Name)
+		}
+		names[sp.Name] = true
+		if len(sp.ProbeIDs) > 0 && len(sp.ProbeIDs) != sp.NumProbes {
+			return t, fmt.Errorf("deploy: station %q pins %d probe IDs for a cohort of %d",
+				sp.Name, len(sp.ProbeIDs), sp.NumProbes)
+		}
+		for _, id := range sp.ProbeIDs {
+			if pinnedIDs[id] {
+				return t, fmt.Errorf("deploy: probe ID %d pinned twice across the fleet", id)
+			}
+			pinnedIDs[id] = true
+		}
+		if sp.ProbeLifetime == 0 {
+			sp.ProbeLifetime = t.ProbeLifetime
+		}
+	}
+	for _, f := range t.Faults {
+		switch f.Kind {
+		case FaultRS232, FaultBatterySoC, FaultStuckLoad, FaultMainsBlackout:
+		default:
+			return t, fmt.Errorf("deploy: fault targeting %q has unknown kind %d", f.Station, f.Kind)
+		}
+		if f.Station != "" && !names[f.Station] {
+			return t, fmt.Errorf("deploy: fault %v targets unknown station %q", f.Kind, f.Station)
+		}
+	}
+	t.Stations = specs
+	return t, nil
+}
+
+// Build wires a fleet from a declarative topology. Same topology and seed
+// ⇒ identical deployment, event for event.
+func Build(t Topology) (*Deployment, error) {
+	t, err := t.resolve()
+	if err != nil {
+		return nil, err
+	}
+
+	sim := simenv.NewAt(t.Seed, t.Start)
+	wx := weather.New(t.Weather)
+	srv := server.New()
+	d := &Deployment{
+		Sim:      sim,
+		WX:       wx,
+		Server:   srv,
+		Topology: t,
+		byName:   make(map[string]*station.Station, len(t.Stations)),
+		probesBy: make(map[string][]*probe.Probe, len(t.Stations)),
+		channels: make(map[string]*comms.ProbeChannel),
+	}
+
+	// Auto-numbered probe IDs skip any pinned ones so every probe's
+	// noise/lifetime stream stays unique across the fleet.
+	pinned := map[int]bool{}
+	for _, sp := range t.Stations {
+		for _, id := range sp.ProbeIDs {
+			pinned[id] = true
+		}
+	}
+	nextProbeID := FirstProbeID
+	for _, sp := range t.Stations {
+		ncfg := nodeConfigFor(sp, t.Faults)
+		node := core.NewNode(sim, wx, ncfg)
+
+		// Base stations get their own radio cell and cohort: probes talk
+		// only to their base, exactly as stations talk only to Southampton.
+		var channel *comms.ProbeChannel
+		var probes []*probe.Probe
+		if sp.Role == station.RoleBase && sp.NumProbes > 0 {
+			channel = comms.NewProbeChannel(sim, wx, comms.ProbeRadioConfig{})
+			probes = make([]*probe.Probe, 0, sp.NumProbes)
+			for i := 0; i < sp.NumProbes; i++ {
+				var id int
+				if len(sp.ProbeIDs) > 0 {
+					id = sp.ProbeIDs[i]
+				} else {
+					for pinned[nextProbeID] {
+						nextProbeID++
+					}
+					id = nextProbeID
+					nextProbeID++
+				}
+				pcfg := probe.DefaultConfig(id)
+				if sp.ProbeLifetime != 0 {
+					pcfg.MeanLifetime = sp.ProbeLifetime
+				}
+				probes = append(probes, probe.New(sim, wx, pcfg))
+			}
+		}
+
+		st := station.New(node, srv, channel, probes, runtimeFor(sp))
+		applyStationFaults(st, sp.Name, t.Faults)
+
+		d.Stations = append(d.Stations, st)
+		d.byName[sp.Name] = st
+		d.probesBy[sp.Name] = probes
+		if channel != nil {
+			d.channels[sp.Name] = channel
+		}
+		d.Probes = append(d.Probes, probes...)
+		if sp.Role == station.RoleBase && d.Base == nil {
+			d.Base = st
+			d.Channel = channel
+		}
+		if sp.Role == station.RoleReference && d.Reference == nil {
+			d.Reference = st
+		}
+	}
+	return d, nil
+}
+
+// MustBuild is Build for topologies known to be valid; it panics on error.
+func MustBuild(t Topology) *Deployment {
+	d, err := Build(t)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// runtimeFor resolves the spec's runtime. An explicit config (Role set)
+// is honoured verbatim — it came from DefaultConfig or a caller who means
+// every field, including InitialState 0. A partial override (Role zero)
+// is merged onto the role's deployed defaults; only Fetch and
+// InitialState need filling here, station.New already defaults the other
+// zero fields.
+func runtimeFor(sp StationSpec) station.Config {
+	rt := sp.Runtime
+	explicit := rt.Role != 0
+	rt.Role = sp.Role
+	if explicit {
+		return rt
+	}
+	def := station.DefaultConfig(sp.Role)
+	if rt.Fetch == (protocol.NackConfig{}) {
+		rt.Fetch = def.Fetch
+	}
+	if rt.InitialState == 0 {
+		rt.InitialState = def.InitialState
+	}
+	return rt
+}
+
+// nodeConfigFor resolves the spec's hardware fit and applies the
+// build-time faults that change it.
+func nodeConfigFor(sp StationSpec, faults []Fault) core.NodeConfig {
+	var cfg core.NodeConfig
+	if sp.Hardware != nil {
+		cfg = *sp.Hardware
+	} else if sp.Role == station.RoleReference {
+		cfg = core.ReferenceStationConfig(sp.Name)
+	} else {
+		cfg = core.BaseStationConfig(sp.Name)
+	}
+	cfg.Name = sp.Name
+	if cfg.MCU.Name == "" {
+		cfg.MCU.Name = sp.Name + ".mcu"
+	}
+	for _, f := range faults {
+		if f.Station != "" && f.Station != sp.Name {
+			continue
+		}
+		switch f.Kind {
+		case FaultMainsBlackout:
+			kept := make([]energy.Charger, 0, len(cfg.Chargers))
+			for _, ch := range cfg.Chargers {
+				if _, mains := ch.(*energy.MainsCharger); !mains {
+					kept = append(kept, ch)
+				}
+			}
+			cfg.Chargers = kept
+		}
+	}
+	return cfg
+}
+
+// applyStationFaults applies the faults that act on a built station.
+func applyStationFaults(st *station.Station, name string, faults []Fault) {
+	for _, f := range faults {
+		if f.Station != "" && f.Station != name {
+			continue
+		}
+		switch f.Kind {
+		case FaultRS232:
+			st.SetRS232Health(f.Value)
+		case FaultBatterySoC:
+			st.Node().Battery.SetSoC(f.Value)
+		case FaultStuckLoad:
+			st.Node().Bus.SetLoad("fault.stuck", f.Value)
+		}
+	}
+}

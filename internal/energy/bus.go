@@ -91,6 +91,9 @@ func (b *Bus) Stop() { b.ticker.Stop() }
 // Battery returns the attached battery bank.
 func (b *Bus) Battery() *Battery { return b.battery }
 
+// Chargers returns the attached chargers (do not mutate).
+func (b *Bus) Chargers() []Charger { return b.chargers }
+
 // Failed reports whether the bus is currently in total power failure.
 func (b *Bus) Failed() bool { return b.failed }
 

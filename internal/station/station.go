@@ -239,6 +239,17 @@ func New(node *core.Node, srv *server.Server, channel *comms.ProbeChannel, probe
 // Node returns the underlying hardware node.
 func (s *Station) Node() *core.Node { return s.node }
 
+// Name returns the station's fleet-unique name (the node name, which is
+// also how the Southampton server knows it).
+func (s *Station) Name() string { return s.node.Name }
+
+// Role returns the station's configured role.
+func (s *Station) Role() Role { return s.cfg.Role }
+
+// Probes returns the station's sub-glacial cohort (nil for reference
+// stations).
+func (s *Station) Probes() []*probe.Probe { return s.probes }
+
 // State returns the station's current effective power state.
 func (s *Station) State() power.State { return s.state }
 
