@@ -23,6 +23,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/simenv"
 	"repro/internal/station"
+	"repro/internal/sweep"
 	"repro/internal/update"
 	"repro/internal/weather"
 )
@@ -128,6 +129,36 @@ func BenchmarkFleetDay(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(d.Sim.Processed())/float64(b.N)/float64(n), "events/station-day")
+		})
+	}
+}
+
+// BenchmarkSweep measures the sweep engine's wall-clock scaling on an
+// 8-seed fleet-8 grid — 8 independent deployments per sweep, one per cell.
+// Since cells share nothing (each owns its simulator, weather, server and
+// fleet), the speedup should track min(workers, cores); the summary itself
+// is byte-identical at every worker count (the sweep package's
+// TestRunWorkerCountIndependence pins that).
+func BenchmarkSweep(b *testing.B) {
+	grid := sweep.Grid{
+		Scenarios: []string{"fleet-N"},
+		Seeds:     sweep.SeedRange(1, 8),
+		Stations:  []int{8},
+		Days:      10,
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum, err := sweep.Run(grid, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, cr := range sum.Cells {
+					if cr.Err != "" {
+						b.Fatalf("cell %s: %s", cr.Cell.Label(), cr.Err)
+					}
+				}
+			}
 		})
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/comms"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/simenv"
 	"repro/internal/station"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/update"
 	"repro/internal/weather"
@@ -178,29 +180,35 @@ func expWatchdog(seed int64) error {
 
 // expSyncLag measures how long a state change at Southampton takes to reach
 // the stations (§III: same-day when it lands before the window, a one-day
-// lag otherwise, plus any days lost to failed GPRS sessions).
+// lag otherwise, plus any days lost to failed GPRS sessions). The 3-seed x
+// 2-timing grid runs on the sweep engine; the set-hour axis is a label-only
+// override the custom driver interprets.
 func expSyncLag(seed int64) error {
-	measure := func(s int64, setHour int) (baseLag, refLag, failures int) {
-		d := deploy.MustBuild(deploy.AsDeployed(s))
+	const beforeWindow, afterWindow = "set at 11:00 (before window)", "set at 13:00 (after window)"
+	drive := func(c sweep.Cell, d *deploy.Deployment) ([]sweep.Metric, error) {
 		if err := d.RunDays(5); err != nil {
-			return -1, -1, 0
+			return nil, err
 		}
 		// Place the change before (11:00) or after (13:00) the midday
 		// window, then count whole days until each station adopts it.
+		setHour := 11
+		if c.Override == afterWindow {
+			setHour = 13
+		}
 		setAt := simenv.StartOfDay(d.Sim.Now()).Add(time.Duration(setHour) * time.Hour)
 		if err := d.Sim.Run(setAt); err != nil {
-			return -1, -1, 0
+			return nil, err
 		}
 		d.Server.SetManualOverride("base", power.State1)
 		d.Server.SetManualOverride("ref", power.State1)
 		failsBefore := d.Base.Stats().CommsFailures + d.Reference.Stats().CommsFailures
 		// Check each evening (18:00, after the midday window): day 0 means
 		// the change landed the same day it was set.
-		baseLag, refLag = -1, -1
+		baseLag, refLag := -1, -1
 		for day := 0; day <= 6; day++ {
 			check := simenv.StartOfDay(setAt).Add(time.Duration(day)*24*time.Hour + 18*time.Hour)
 			if err := d.Sim.Run(check); err != nil {
-				return -1, -1, 0
+				return nil, err
 			}
 			if baseLag < 0 && d.Base.State() == power.State1 {
 				baseLag = day
@@ -212,26 +220,48 @@ func expSyncLag(seed int64) error {
 				break
 			}
 		}
-		failures = d.Base.Stats().CommsFailures + d.Reference.Stats().CommsFailures - failsBefore
-		return baseLag, refLag, failures
+		failures := d.Base.Stats().CommsFailures + d.Reference.Stats().CommsFailures - failsBefore
+		return []sweep.Metric{
+			{Name: "base-lag-days", Value: float64(baseLag)},
+			{Name: "ref-lag-days", Value: float64(refLag)},
+			{Name: "failed-sessions", Value: float64(failures)},
+		}, nil
+	}
+	sum, err := sweep.Run(sweep.Grid{
+		Scenarios: []string{"as-deployed-2008"},
+		Seeds:     sweep.SeedRange(seed, 3),
+		Overrides: []sweep.Override{{Name: beforeWindow}, {Name: afterWindow}},
+		Drive:     drive,
+	}, 0)
+	if err != nil {
+		return err
 	}
 
 	var rows [][]string
-	for _, c := range []struct {
-		label   string
-		setHour int
-	}{
-		{"set at 11:00 (before window)", 11},
-		{"set at 13:00 (after window)", 13},
-	} {
-		for s := seed; s < seed+3; s++ {
-			b, r, fails := measure(s, c.setHour)
-			rows = append(rows, []string{c.label, fmt.Sprintf("seed %d", s),
-				fmt.Sprintf("%d", b), fmt.Sprintf("%d", r), fmt.Sprintf("%d", fails)})
+	for _, cr := range sum.Cells {
+		if cr.Err != "" {
+			return fmt.Errorf("cell %s: %s", cr.Cell.Label(), cr.Err)
 		}
+		b, _ := cr.Metric("base-lag-days")
+		r, _ := cr.Metric("ref-lag-days")
+		fails, _ := cr.Metric("failed-sessions")
+		rows = append(rows, []string{cr.Cell.Override, fmt.Sprintf("seed %d", cr.Cell.Seed),
+			fmt.Sprintf("%.0f", b), fmt.Sprintf("%.0f", r), fmt.Sprintf("%.0f", fails)})
 	}
 	fmt.Print(trace.Table([]string{"Change timing", "Trial", "Base lag (days)",
 		"Ref lag (days)", "Failed sessions while waiting"}, rows))
+
+	rows = rows[:0]
+	for _, gr := range sum.Groups {
+		for _, name := range []string{"base-lag-days", "ref-lag-days", "failed-sessions"} {
+			if st, ok := gr.Stat(name); ok {
+				rows = append(rows, []string{gr.Override, name,
+					fmt.Sprintf("%.2f", st.Mean), fmt.Sprintf("%.2f", st.Stddev)})
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Print(trace.Table([]string{"Change timing", "Metric", "Mean over seeds", "Stddev"}, rows))
 	fmt.Println("\nbefore-window changes land the same day (lag 0). After-window changes")
 	fmt.Println("usually wait for tomorrow (lag 1) — but a station still uploading a")
 	fmt.Println("backlog queries the override late and can pick the change up the same")
@@ -343,35 +373,79 @@ func expUpdate(seed int64) error {
 // expFleet exercises the §III coordination rule at fleet scale: an
 // 8-station scenario where one base's chargers are dead. Its low daily
 // averages reach Southampton, and the min-rule holds every other station
-// down — N stations synchronised with no inter-station link.
+// down — N stations synchronised with no inter-station link. The study is
+// a 4-seed sweep of the fleet-N scenario with the fault injected as a grid
+// override; the first seed is also shown station by station.
 func expFleet(seed int64) error {
-	top := deploy.FleetTopology(seed, 8, 3)
-	hw := core.BaseStationConfig("base-01")
-	hw.Chargers = nil
-	top.Stations[0].Hardware = &hw
-	top.Faults = []deploy.Fault{{Station: "base-01", Kind: deploy.FaultBatterySoC, Value: 0.25}}
-	d := deploy.MustBuild(top)
-	if err := d.RunDays(14); err != nil {
+	breakFirstBase := func(top *deploy.Topology) {
+		hw := core.BaseStationConfig("base-01")
+		hw.Chargers = nil
+		top.Stations[0].Hardware = &hw
+		top.Faults = append(top.Faults,
+			deploy.Fault{Station: "base-01", Kind: deploy.FaultBatterySoC, Value: 0.25})
+	}
+	var mu sync.Mutex
+	var detail [][]string
+	observe := func(c sweep.Cell, d *deploy.Deployment) []sweep.Metric {
+		healthyHeld := 0
+		var rows [][]string
+		for _, st := range d.Stations {
+			held := 0
+			for _, r := range st.Reports() {
+				if r.OverrideFetched && r.Override < r.LocalState && r.Effective == r.Override {
+					held++
+				}
+			}
+			if st.Name() != "base-01" {
+				healthyHeld += held
+			}
+			rows = append(rows, []string{st.Name(), st.Role().String(),
+				fmt.Sprintf("%d", st.Stats().Runs), fmt.Sprintf("%d", held), st.State().String()})
+		}
+		if c.Seed == seed {
+			mu.Lock()
+			detail = rows
+			mu.Unlock()
+		}
+		return []sweep.Metric{{Name: "healthy-station-days-held", Value: float64(healthyHeld)}}
+	}
+	sum, err := sweep.Run(sweep.Grid{
+		Scenarios: []string{"fleet-N"},
+		Seeds:     sweep.SeedRange(seed, 4),
+		Stations:  []int{8},
+		Days:      14,
+		Overrides: []sweep.Override{{Name: "base-01-dead", Apply: breakFirstBase}},
+		Observe:   observe,
+	}, 0)
+	if err != nil {
 		return err
 	}
+	for _, cr := range sum.Cells {
+		if cr.Err != "" {
+			return fmt.Errorf("cell %s: %s", cr.Cell.Label(), cr.Err)
+		}
+	}
+
+	fmt.Printf("seed %d of the %d-seed sweep, station by station:\n\n", seed, len(sum.Cells))
+	fmt.Print(trace.Table([]string{"Station", "Role", "Runs", "Days held below local state", "State now"}, detail))
+	fmt.Println()
+	fmt.Print(sum.Cells[0].Result)
 
 	var rows [][]string
-	for _, st := range d.Stations {
-		held := 0
-		for _, r := range st.Reports() {
-			if r.OverrideFetched && r.Override < r.LocalState && r.Effective == r.Override {
-				held++
-			}
-		}
-		rows = append(rows, []string{st.Name(), st.Role().String(),
-			fmt.Sprintf("%d", st.Stats().Runs), fmt.Sprintf("%d", held), st.State().String()})
+	for _, cr := range sum.Cells {
+		held, _ := cr.Metric("healthy-station-days-held")
+		rows = append(rows, []string{fmt.Sprintf("seed %d", cr.Cell.Seed), fmt.Sprintf("%.0f", held)})
 	}
-	fmt.Print(trace.Table([]string{"Station", "Role", "Runs", "Days held below local state", "State now"}, rows))
+	if st, ok := sum.Groups[0].Stat("healthy-station-days-held"); ok {
+		rows = append(rows, []string{"mean ± stddev over seeds",
+			fmt.Sprintf("%.1f ± %.1f", st.Mean, st.Stddev)})
+	}
 	fmt.Println()
-	fmt.Print(d.Result())
+	fmt.Print(trace.Table([]string{"Trial", "Healthy-station days held down"}, rows))
 	fmt.Println("\n§III: the server answers every station with the minimum of the fleet's")
 	fmt.Println("last-reported states — one weak battery throttles the whole fleet's dGPS")
-	fmt.Println("duty cycle, with at most one day of lag and no base↔base radio link.")
+	fmt.Println("duty cycle, with at most one day of lag and no base↔base radio link,")
+	fmt.Println("on every seed of the sweep.")
 	return nil
 }
 

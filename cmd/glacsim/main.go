@@ -6,18 +6,26 @@
 //
 //	glacsim -days 120 -seed 42 [-scenario as-deployed-2008] [-v]
 //	glacsim -scenario fleet-N -stations 8 -days 30
+//	glacsim -sweep -scenario fleet-N,dual-base -seeds 8 -workers 4
 //	glacsim -list
+//
+// With -sweep the scenario flag takes a comma-separated list and the tool
+// runs the scenario x seed grid on the parallel sweep engine, printing the
+// per-cell results and per-configuration mean/stddev/min/max. The summary
+// is byte-identical for any -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/scenario"
 	"repro/internal/station"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -40,6 +48,9 @@ func run() error {
 		start    = flag.String("start", "", "start date override (YYYY-MM-DD; empty = scenario default)")
 		verbose  = flag.Bool("v", false, "print every daily run report")
 		fixed    = flag.Bool("special-first", false, "apply the §VI special-before-upload fix on every station")
+		doSweep  = flag.Bool("sweep", false, "run a scenario x seed sweep grid on the parallel engine")
+		seeds    = flag.Int("seeds", 4, "sweep: consecutive seeds starting at -seed")
+		workers  = flag.Int("workers", 0, "sweep: worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -53,24 +64,22 @@ func run() error {
 	if *days < 0 || *stations < 0 || *probes < 0 {
 		return fmt.Errorf("-days, -stations and -probes must be >= 0")
 	}
+	if *doSweep {
+		return runSweep(*scen, *seed, *seeds, *workers, *days, *stations, *probes,
+			*start, *fixed, *csvPath, *verbose)
+	}
 	s, ok := scenario.Lookup(*scen)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (try -list)", *scen)
 	}
 	params := scenario.Params{Seed: *seed, Stations: *stations, Probes: *probes, Days: *days}
 	top := s.Topology(params)
-	if *start != "" {
-		t0, err := time.Parse("2006-01-02", *start)
-		if err != nil {
-			return fmt.Errorf("bad -start: %w", err)
-		}
-		top.Start = t0
+	apply, err := flagOverride(*start, *fixed)
+	if err != nil {
+		return err
 	}
-	if *fixed {
-		// Partial runtime overrides merge with the role defaults in Build.
-		for i := range top.Stations {
-			top.Stations[i].Runtime.SpecialFirst = true
-		}
+	if apply != nil {
+		apply(&top)
 	}
 
 	d, err := deploy.Build(top)
@@ -112,6 +121,72 @@ func run() error {
 		}
 		fmt.Printf("voltage trace (%d samples) written to %s\n", volts.Len(), *csvPath)
 	}
+	return nil
+}
+
+// flagOverride turns the -start/-special-first flags into one topology
+// mutation shared by the single-run and sweep paths; nil when neither flag
+// is set.
+func flagOverride(start string, fixed bool) (func(*deploy.Topology), error) {
+	if start == "" && !fixed {
+		return nil, nil
+	}
+	var t0 time.Time
+	if start != "" {
+		var err error
+		if t0, err = time.Parse("2006-01-02", start); err != nil {
+			return nil, fmt.Errorf("bad -start: %w", err)
+		}
+	}
+	return func(top *deploy.Topology) {
+		if !t0.IsZero() {
+			top.Start = t0
+		}
+		if fixed {
+			// Partial runtime overrides merge with the role defaults in Build.
+			for i := range top.Stations {
+				top.Stations[i].Runtime.SpecialFirst = true
+			}
+		}
+	}, nil
+}
+
+// runSweep fans the scenario list x seed range out over the sweep engine.
+func runSweep(scen string, seed int64, seeds, workers, days, stations, probes int,
+	start string, fixed bool, csvPath string, verbose bool) error {
+	if csvPath != "" || verbose {
+		return fmt.Errorf("-csv and -v apply to single runs, not -sweep")
+	}
+	if seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1")
+	}
+	var names []string
+	for _, n := range strings.Split(scen, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	g := sweep.Grid{Scenarios: names, Seeds: sweep.SeedRange(seed, seeds), Days: days}
+	if stations > 0 {
+		g.Stations = []int{stations}
+	}
+	if probes > 0 {
+		g.Probes = []int{probes}
+	}
+	// -start and -special-first become one topology override applied to
+	// every cell.
+	apply, err := flagOverride(start, fixed)
+	if err != nil {
+		return err
+	}
+	if apply != nil {
+		g.Overrides = []sweep.Override{{Name: "flags", Apply: apply}}
+	}
+	sum, err := sweep.Run(g, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sum)
 	return nil
 }
 

@@ -45,6 +45,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/simenv"
 	"repro/internal/station"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/update"
 	"repro/internal/weather"
@@ -164,6 +165,40 @@ func ListScenarios() []Scenario { return scenario.List() }
 func BuildScenario(name string, p ScenarioParams) (*Deployment, error) {
 	return scenario.Build(name, p)
 }
+
+// The parallel sweep engine: a SweepGrid declares scenario x seed x
+// override axes, RunSweep fans the cross-product out over a bounded worker
+// pool (one independent Deployment per cell), and the SweepSummary folds
+// each configuration's metrics across its seeds. Output is byte-identical
+// for any worker count.
+type (
+	// SweepGrid declares a sweep's axes and per-cell hooks.
+	SweepGrid = sweep.Grid
+	// SweepOverride is one named topology mutation on the override axis.
+	SweepOverride = sweep.Override
+	// SweepCell identifies one point of the grid cross-product.
+	SweepCell = sweep.Cell
+	// SweepCellResult is one executed cell with its metrics.
+	SweepCellResult = sweep.CellResult
+	// SweepMetric is one named per-cell measurement.
+	SweepMetric = sweep.Metric
+	// SweepStats is one metric folded across a configuration's seeds.
+	SweepStats = sweep.Stats
+	// SweepGroup is one configuration's fold across its seeds.
+	SweepGroup = sweep.Group
+	// SweepSummary is a completed sweep.
+	SweepSummary = sweep.Summary
+)
+
+// RunSweep executes the grid on a bounded worker pool (workers <= 0 means
+// GOMAXPROCS).
+func RunSweep(g SweepGrid, workers int) (*SweepSummary, error) {
+	return sweep.Run(g, workers)
+}
+
+// SeedRange returns n consecutive seeds starting at from — the usual seed
+// axis of a SweepGrid.
+func SeedRange(from int64, n int) []int64 { return sweep.SeedRange(from, n) }
 
 // NewDeployment wires a complete simulated deployment. Zero-value fields of
 // cfg are filled with the as-deployed defaults (7 probes, September 2008

@@ -81,6 +81,7 @@ type Simulator struct {
 	seq       uint64
 	nextID    EventID
 	cancelled map[EventID]struct{}
+	queued    map[EventID]struct{}
 	stopped   bool
 	running   bool
 	processed uint64
@@ -102,6 +103,7 @@ func NewAt(seed int64, start time.Time) *Simulator {
 	return &Simulator{
 		now:       start,
 		cancelled: make(map[EventID]struct{}),
+		queued:    make(map[EventID]struct{}),
 		rngs:      make(map[string]*rand.Rand),
 		seed:      seed,
 	}
@@ -158,6 +160,7 @@ func (s *Simulator) At(at time.Time, name string, fn EventFunc) EventID {
 	s.nextID++
 	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn, name: name}
 	heap.Push(&s.queue, ev)
+	s.queued[ev.id] = struct{}{}
 	return ev.id
 }
 
@@ -182,8 +185,13 @@ func (s *Simulator) Every(start time.Time, period time.Duration, name string, fn
 }
 
 // Cancel prevents a scheduled event from running. Cancelling an event that
-// already ran (or was already cancelled) is a no-op.
+// already ran (or was already cancelled) is a no-op: only IDs still in the
+// queue are marked, so the cancelled set cannot leak entries that no pop
+// will ever reclaim.
 func (s *Simulator) Cancel(id EventID) {
+	if _, pending := s.queued[id]; !pending {
+		return
+	}
 	s.cancelled[id] = struct{}{}
 }
 
@@ -195,6 +203,7 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		ev := heap.Pop(&s.queue).(*event)
+		delete(s.queued, ev.id)
 		if _, dead := s.cancelled[ev.id]; dead {
 			delete(s.cancelled, ev.id)
 			continue
@@ -255,6 +264,7 @@ func (s *Simulator) peek() *event {
 		ev := s.queue[0]
 		if _, dead := s.cancelled[ev.id]; dead {
 			heap.Pop(&s.queue)
+			delete(s.queued, ev.id)
 			delete(s.cancelled, ev.id)
 			continue
 		}

@@ -255,6 +255,143 @@ func TestHourOfDay(t *testing.T) {
 	}
 }
 
+func TestCancelAfterExecutionIsNoOp(t *testing.T) {
+	s := New(1)
+	id := s.After(time.Hour, "e", func(time.Time) {})
+	if err := s.RunFor(2 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	s.Cancel(id) // the event already ran; this must not poison anything
+	if len(s.cancelled) != 0 {
+		t.Fatalf("cancelled map holds %d executed IDs (leak)", len(s.cancelled))
+	}
+	ran := false
+	s.After(time.Hour, "later", func(time.Time) { ran = true })
+	if err := s.RunFor(2 * time.Hour); err != nil {
+		t.Fatalf("second RunFor: %v", err)
+	}
+	if !ran {
+		t.Fatal("event after stale Cancel did not run")
+	}
+}
+
+func TestCancelUnknownIDIsNoOp(t *testing.T) {
+	s := New(1)
+	s.Cancel(EventID(12345))
+	if len(s.cancelled) != 0 {
+		t.Fatalf("cancelled map holds %d entries for an unknown ID", len(s.cancelled))
+	}
+}
+
+func TestCancelledMapDrainsAfterRun(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 4; i++ {
+		id := s.After(time.Duration(i+1)*time.Minute, "e", func(time.Time) { t.Fatal("cancelled event ran") })
+		s.Cancel(id)
+		s.Cancel(id) // double-cancel stays a single entry
+	}
+	if len(s.cancelled) != 4 {
+		t.Fatalf("cancelled map = %d entries, want 4", len(s.cancelled))
+	}
+	if err := s.RunFor(time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if len(s.cancelled) != 0 || len(s.queued) != 0 {
+		t.Fatalf("residue after run: %d cancelled, %d queued", len(s.cancelled), len(s.queued))
+	}
+}
+
+func TestTickerStopInsideOwnCallbackLeavesNoResidue(t *testing.T) {
+	// Ticker.Stop from inside the ticker's own callback cancels the ID of
+	// the event that is currently executing — exactly the already-popped
+	// case that used to leak an entry in the cancelled map forever.
+	s := New(1)
+	var tk *Ticker
+	tk = s.Every(s.Now().Add(time.Hour), time.Hour, "tick", func(time.Time) {
+		if tk.Fires() == 2 {
+			tk.Stop()
+		}
+	})
+	if err := s.RunFor(12 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if tk.Fires() != 2 {
+		t.Fatalf("ticker fired %d times after Stop at 2", tk.Fires())
+	}
+	if len(s.cancelled) != 0 {
+		t.Fatalf("self-stopping ticker leaked %d cancelled entries", len(s.cancelled))
+	}
+}
+
+func TestPendingCountsCancelledUntilSkipped(t *testing.T) {
+	s := New(1)
+	s.After(time.Minute, "a", func(time.Time) {})
+	id := s.After(2*time.Minute, "b", func(time.Time) {})
+	s.After(3*time.Minute, "c", func(time.Time) {})
+	s.Cancel(id)
+	// Cancelled events stay queued until a pop skips them.
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending = %d before run, want 3 (cancelled still queued)", got)
+	}
+	if err := s.RunFor(time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after run, want 0", got)
+	}
+	if s.Processed() != 2 {
+		t.Fatalf("Processed = %d, want 2 (cancelled event must not count)", s.Processed())
+	}
+}
+
+func TestSameTimestampEventScheduledMidEventRunsLast(t *testing.T) {
+	// An event scheduled *during* an event for the current instant joins
+	// the back of the same-timestamp queue (schedule order, not LIFO).
+	s := New(1)
+	at := s.Now().Add(time.Hour)
+	var order []string
+	s.At(at, "first", func(now time.Time) {
+		order = append(order, "first")
+		s.At(now, "nested", func(time.Time) { order = append(order, "nested") })
+	})
+	s.At(at, "second", func(time.Time) { order = append(order, "second") })
+	if err := s.RunFor(2 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	want := []string{"first", "second", "nested"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunHorizonChainingAfterQueueDrain(t *testing.T) {
+	// When the queue drains mid-run the clock still advances to the
+	// horizon, so a later Run schedules relative to the horizon, not the
+	// last event.
+	s := New(1)
+	s.After(time.Hour, "early", func(time.Time) {})
+	if err := s.RunFor(24 * time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if !s.Now().Equal(Epoch.Add(24 * time.Hour)) {
+		t.Fatalf("clock at %v after drain, want horizon", s.Now())
+	}
+	var at time.Time
+	s.After(time.Hour, "chained", func(now time.Time) { at = now })
+	if err := s.RunFor(24 * time.Hour); err != nil {
+		t.Fatalf("second RunFor: %v", err)
+	}
+	want := Epoch.Add(25 * time.Hour)
+	if !at.Equal(want) {
+		t.Fatalf("chained event ran at %v, want %v", at, want)
+	}
+}
+
 // Property: for any set of offsets, events execute in nondecreasing time order.
 func TestPropertyEventsExecuteInTimeOrder(t *testing.T) {
 	f := func(offsets []uint16) bool {

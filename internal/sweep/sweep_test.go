@@ -1,0 +1,250 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/scenario"
+)
+
+func TestSeedRange(t *testing.T) {
+	got := SeedRange(40, 3)
+	want := []int64{40, 41, 42}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SeedRange(40, 3) = %v, want %v", got, want)
+	}
+	if SeedRange(1, 0) != nil || SeedRange(1, -2) != nil {
+		t.Fatal("non-positive count should give no seeds")
+	}
+}
+
+func TestCellsEnumerationOrder(t *testing.T) {
+	g := Grid{
+		Scenarios: []string{"as-deployed-2008", "dual-base"},
+		Seeds:     []int64{1, 2},
+		Overrides: []Override{{Name: "a"}, {Name: "b"}},
+		Days:      5,
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("2 scenarios x 2 seeds x 2 overrides = %d cells, want 8", len(cells))
+	}
+	// Fixed order: scenario outer, then seed, then override; indices match
+	// positions.
+	want := []Cell{
+		{0, "as-deployed-2008", 1, 0, 0, "a", 5},
+		{1, "as-deployed-2008", 1, 0, 0, "b", 5},
+		{2, "as-deployed-2008", 2, 0, 0, "a", 5},
+		{3, "as-deployed-2008", 2, 0, 0, "b", 5},
+		{4, "dual-base", 1, 0, 0, "a", 5},
+		{5, "dual-base", 1, 0, 0, "b", 5},
+		{6, "dual-base", 2, 0, 0, "a", 5},
+		{7, "dual-base", 2, 0, 0, "b", 5},
+	}
+	if !reflect.DeepEqual(cells, want) {
+		t.Fatalf("cells = %v, want %v", cells, want)
+	}
+}
+
+func TestCellsResolvesScenarioDefaultHorizon(t *testing.T) {
+	g := Grid{Scenarios: []string{"fleet-N"}, Seeds: []int64{1}}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := scenario.Lookup("fleet-N")
+	if cells[0].Days != s.DefaultDays {
+		t.Fatalf("cell horizon %d, want scenario default %d", cells[0].Days, s.DefaultDays)
+	}
+}
+
+func TestCellsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Grid
+		want string
+	}{
+		{"no scenarios", Grid{Seeds: []int64{1}}, "no scenarios"},
+		{"no seeds", Grid{Scenarios: []string{"dual-base"}}, "no seeds"},
+		{"unknown scenario", Grid{Scenarios: []string{"no-such"}, Seeds: []int64{1}}, "not registered"},
+		{"unnamed override", Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1},
+			Overrides: []Override{{}}}, "needs a name"},
+		{"duplicate override", Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1},
+			Overrides: []Override{{Name: "x"}, {Name: "x"}}}, "duplicate override"},
+		{"negative days", Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1}, Days: -1}, "negative horizon"},
+	}
+	for _, c := range cases {
+		if _, err := c.g.Cells(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+// The acceptance property: same grid, workers=1 vs workers=8, byte-identical
+// output. Each cell owns an independent Deployment, results land by cell
+// index, and the fold visits cells in enumeration order, so worker count
+// must not leak into the Summary at all.
+func TestRunWorkerCountIndependence(t *testing.T) {
+	g := Grid{
+		Scenarios: []string{"fleet-N"},
+		Seeds:     SeedRange(1, 8),
+		Stations:  []int{4},
+		Days:      2,
+	}
+	serial, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("workers=1 and workers=8 summaries differ structurally")
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("workers=1 and workers=8 output differs:\n--- workers=1\n%s\n--- workers=8\n%s",
+			serial, parallel)
+	}
+	for _, cr := range serial.Cells {
+		if cr.Err != "" {
+			t.Fatalf("cell %s failed: %s", cr.Cell.Label(), cr.Err)
+		}
+	}
+}
+
+func TestRunAppliesOverridesPerCell(t *testing.T) {
+	sum, err := Run(Grid{
+		Scenarios: []string{"as-deployed-2008"},
+		Seeds:     []int64{3},
+		Days:      1,
+		Overrides: []Override{
+			{Name: "nominal"},
+			{Name: "big-cohort", Apply: func(top *deploy.Topology) {
+				top.Stations[0].NumProbes = 12
+			}},
+		},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(sum.Cells))
+	}
+	nominal, _ := sum.Cells[0].Metric("probes-alive")
+	big, _ := sum.Cells[1].Metric("probes-alive")
+	if sum.Cells[0].Cell.Override != "nominal" || sum.Cells[1].Cell.Override != "big-cohort" {
+		t.Fatalf("override order wrong: %v", sum.Cells)
+	}
+	if big <= nominal {
+		t.Fatalf("big-cohort cell has %v probes alive, nominal %v — override not applied", big, nominal)
+	}
+}
+
+func TestRunRecordsCellErrorsAndExcludesThemFromStats(t *testing.T) {
+	sum, err := Run(Grid{
+		Scenarios: []string{"dual-base"},
+		Seeds:     []int64{1, 2},
+		Days:      1,
+		Overrides: []Override{{Name: "broken", Apply: func(top *deploy.Topology) {
+			top.Stations = nil // Build must reject an empty fleet
+		}}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range sum.Cells {
+		if cr.Err == "" {
+			t.Fatalf("cell %s should have failed to build", cr.Cell.Label())
+		}
+	}
+	if len(sum.Groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(sum.Groups))
+	}
+	gr := sum.Groups[0]
+	if gr.N != 0 || gr.Errors != 2 || len(gr.Stats) != 0 {
+		t.Fatalf("group fold = N=%d Errors=%d stats=%d, want all-error", gr.N, gr.Errors, len(gr.Stats))
+	}
+	if !strings.Contains(sum.String(), "ERROR:") {
+		t.Fatal("summary does not surface cell errors")
+	}
+}
+
+func TestDriveReplacesDefaultRunAndAddsMetrics(t *testing.T) {
+	sum, err := Run(Grid{
+		Scenarios: []string{"as-deployed-2008"},
+		Seeds:     []int64{5},
+		Days:      10, // the drive runs 2 days regardless
+		Drive: func(c Cell, d *deploy.Deployment) ([]Metric, error) {
+			if err := d.RunDays(2); err != nil {
+				return nil, err
+			}
+			return []Metric{{Name: "drive-days", Value: 2}}, nil
+		},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := sum.Cells[0]
+	if runs, _ := cr.Metric("runs"); runs != 4 {
+		t.Fatalf("drive ran %v station-days, want 4 = 2 stations x 2 days (default horizon leaked in)", runs)
+	}
+	if v, ok := cr.Metric("drive-days"); !ok || v != 2 {
+		t.Fatalf("drive metric missing: %v %v", v, ok)
+	}
+	if st, ok := sum.Groups[0].Stat("drive-days"); !ok || st.Mean != 2 {
+		t.Fatalf("drive metric not folded into group stats: %+v", st)
+	}
+}
+
+func TestObserveMetricsFoldAcrossSeeds(t *testing.T) {
+	sum, err := Run(Grid{
+		Scenarios: []string{"dual-base"},
+		Seeds:     SeedRange(1, 3),
+		Days:      1,
+		Observe: func(c Cell, d *deploy.Deployment) []Metric {
+			return []Metric{{Name: "seed-echo", Value: float64(c.Seed)}}
+		},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := sum.Groups[0].Stat("seed-echo")
+	if !ok {
+		t.Fatal("observe metric missing from group stats")
+	}
+	if st.N != 3 || st.Mean != 2 || st.Min != 1 || st.Max != 3 {
+		t.Fatalf("seed-echo stats = %+v, want N=3 mean=2 min=1 max=3", st)
+	}
+	if st.Stddev != 1 {
+		t.Fatalf("seed-echo stddev = %v, want 1 (sample stddev of 1,2,3)", st.Stddev)
+	}
+}
+
+func TestGroupsSplitByConfigurationNotSeed(t *testing.T) {
+	sum, err := Run(Grid{
+		Scenarios: []string{"fleet-N"},
+		Seeds:     SeedRange(1, 2),
+		Stations:  []int{2, 3},
+		Days:      1,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != 4 || len(sum.Groups) != 2 {
+		t.Fatalf("2 seeds x 2 fleet sizes: %d cells in %d groups, want 4 in 2", len(sum.Cells), len(sum.Groups))
+	}
+	for _, gr := range sum.Groups {
+		if gr.N != 2 {
+			t.Fatalf("group %s folded %d seeds, want 2", gr.Label(), gr.N)
+		}
+	}
+	if sum.Groups[0].Stations != 2 || sum.Groups[1].Stations != 3 {
+		t.Fatalf("group order wrong: %+v", sum.Groups)
+	}
+}
