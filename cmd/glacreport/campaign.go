@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// A campaignEntry is one experiment of the sweep campaign: a named grid
+// whose summary lands in the artifact directory as two flat CSV tables
+// (cells, group folds) and one JSON document (full structure, including
+// any per-cell series the grid's Collect hook captured).
+type campaignEntry struct {
+	id    string
+	title string
+	// grid builds the entry's sweep grid; days <= 0 selects the entry's
+	// own default horizon.
+	grid func(seed int64, seeds, days int) sweep.Grid
+	// fixedHorizon marks entries whose custom driver runs a fixed number
+	// of days regardless of the -days flag.
+	fixedHorizon bool
+}
+
+// campaignEntries is the x-series recast as one sweep campaign: every
+// study that is a grid runs as a grid, plus the Fig 5 voltage-curve
+// capture as a Collect series so the artifacts can drive figures, not
+// just tables.
+var campaignEntries = []campaignEntry{
+	{
+		id:    "x5-sync-lag",
+		title: "§III override sync lag: change timing vs adoption delay",
+		grid: func(seed int64, seeds, days int) sweep.Grid {
+			return syncLagGrid(seed, seeds)
+		},
+		fixedHorizon: true,
+	},
+	{
+		id:    "x9-fleet-min-rule",
+		title: "§III min-rule at fleet scale: one weak battery holds 8 stations down",
+		grid: func(seed int64, seeds, days int) sweep.Grid {
+			if days <= 0 {
+				days = 14
+			}
+			return fleetMinRuleGrid(seed, seeds, days)
+		},
+	},
+	{
+		id:    "f5-voltage",
+		title: "Fig 5 battery voltage: per-cell diurnal curves with dGPS ripple",
+		grid: func(seed int64, seeds, days int) sweep.Grid {
+			if days <= 0 {
+				days = 4
+			}
+			return sweep.Grid{
+				Scenarios: []string{"as-deployed-2008"},
+				Seeds:     sweep.SeedRange(seed, seeds),
+				Days:      days,
+				Collect: func(c sweep.Cell, d *deploy.Deployment) []*trace.Series {
+					volts, _ := trace.Sample(d.Sim, 30*time.Minute, "base-volts", "V",
+						func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })
+					return []*trace.Series{volts}
+				},
+			}
+		},
+	},
+}
+
+// Manifest document written beside the per-experiment artifacts.
+type campaignManifest struct {
+	Campaign    string                 `json:"campaign"`
+	Seed        int64                  `json:"seed"`
+	Seeds       int                    `json:"seeds"`
+	Days        int                    `json:"days,omitempty"`
+	Experiments []campaignManifestItem `json:"experiments"`
+}
+
+type campaignManifestItem struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	CellsCSV  string `json:"cells_csv"`
+	GroupsCSV string `json:"groups_csv"`
+	JSON      string `json:"json"`
+	Cells     int    `json:"cells"`
+	Groups    int    `json:"groups"`
+	Errors    int    `json:"errors,omitempty"`
+	// FixedHorizon marks experiments whose driver ignores the campaign's
+	// days setting, so the manifest never misdescribes what ran.
+	FixedHorizon bool `json:"fixed_horizon,omitempty"`
+}
+
+// runCampaign runs every campaign entry as one sweep each and writes the
+// artifact directory: <id>.cells.csv, <id>.groups.csv (single-width flat
+// tables any CSV reader takes as-is) and <id>.json per experiment, plus
+// manifest.json. Like every sweep output, the artifacts are byte-identical
+// for any worker count.
+func runCampaign(dir string, seed int64, seeds, days, workers int) error {
+	if seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create artifact dir: %w", err)
+	}
+	manifest := campaignManifest{
+		Campaign: "glacsweb x-series sweep campaign",
+		Seed:     seed, Seeds: seeds, Days: days,
+		Experiments: []campaignManifestItem{},
+	}
+	for _, e := range campaignEntries {
+		if days > 0 && e.fixedHorizon {
+			fmt.Fprintf(os.Stderr, "glacreport %s: custom driver fixes its own horizon; -days %d ignored\n", e.id, days)
+		}
+		sum, err := sweep.Run(e.grid(seed, seeds, days), workers)
+		if err != nil {
+			return fmt.Errorf("campaign %s: %w", e.id, err)
+		}
+		item := campaignManifestItem{
+			ID: e.id, Title: e.title,
+			CellsCSV: e.id + ".cells.csv", GroupsCSV: e.id + ".groups.csv",
+			JSON:  e.id + ".json",
+			Cells: len(sum.Cells), Groups: len(sum.Groups),
+			FixedHorizon: e.fixedHorizon,
+		}
+		for _, cr := range sum.Cells {
+			if cr.Err != "" {
+				item.Errors++
+				fmt.Fprintf(os.Stderr, "glacreport %s: cell %s: %s\n", e.id, cr.Cell.Label(), cr.Err)
+			}
+		}
+		if err := writeArtifact(filepath.Join(dir, item.CellsCSV), sum.WriteCellsCSV); err != nil {
+			return fmt.Errorf("campaign %s: %w", e.id, err)
+		}
+		if err := writeArtifact(filepath.Join(dir, item.GroupsCSV), sum.WriteGroupsCSV); err != nil {
+			return fmt.Errorf("campaign %s: %w", e.id, err)
+		}
+		if err := writeArtifact(filepath.Join(dir, item.JSON), sum.WriteJSON); err != nil {
+			return fmt.Errorf("campaign %s: %w", e.id, err)
+		}
+		manifest.Experiments = append(manifest.Experiments, item)
+		fmt.Printf("%-18s %3d cells  %2d configurations  -> %s, %s, %s\n",
+			e.id, item.Cells, item.Groups, item.CellsCSV, item.GroupsCSV, item.JSON)
+	}
+	out, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write manifest: %w", err)
+	}
+	fmt.Printf("campaign manifest -> %s\n", filepath.Join(dir, "manifest.json"))
+	return nil
+}
+
+// writeArtifact streams one encoder into a freshly created file.
+func writeArtifact(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

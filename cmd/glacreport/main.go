@@ -6,9 +6,17 @@
 //
 //	glacreport -exp all          # everything
 //	glacreport -exp t1,t2,f5     # a subset
+//	glacreport -campaign -dir artifacts -seeds 3
 //
 // Experiment IDs: t1 t2 f3 f4 f5 f6 x1 x2 x3 x4 x5 x6 x7 x8 x9 ext1 (see
 // EXPERIMENTS.md for the index).
+//
+// With -campaign the tool runs the x-series as one sweep campaign instead
+// of printing tables: every grid-shaped study executes on the parallel
+// sweep engine and the results land in -dir as two flat CSV tables (cells,
+// group folds) and one JSON document per experiment (including per-cell
+// voltage series) plus a manifest.json — machine-readable artifacts ready
+// for plotting.
 package main
 
 import (
@@ -26,9 +34,33 @@ type experiment struct {
 }
 
 func main() {
-	var exp = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-	var seed = flag.Int64("seed", 42, "simulation seed")
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		campaign = flag.Bool("campaign", false, "run the x-series as one sweep campaign and write machine-readable artifacts")
+		dir      = flag.String("dir", "artifacts", "campaign: artifact output directory")
+		seeds    = flag.Int("seeds", 3, "campaign: consecutive seeds per grid starting at -seed")
+		days     = flag.Int("days", 0, "campaign: horizon override for grid experiments (0 = per-experiment default)")
+		workers  = flag.Int("workers", 0, "campaign: sweep worker pool size (0 = GOMAXPROCS)")
+	)
 	flag.Parse()
+
+	if *campaign {
+		if err := runCampaign(*dir, *seed, *seeds, *days, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "glacreport -campaign: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	// Campaign-only flags are a misuse without -campaign — fail loudly
+	// instead of silently running the default table experiments.
+	campaignOnly := map[string]bool{"dir": true, "seeds": true, "days": true, "workers": true}
+	flag.Visit(func(f *flag.Flag) {
+		if campaignOnly[f.Name] {
+			fmt.Fprintf(os.Stderr, "glacreport: -%s configures the sweep campaign; use it with -campaign\n", f.Name)
+			os.Exit(2)
+		}
+	})
 
 	exps := []experiment{
 		{"t1", "Table I — characteristics of system components", func() error { return tableI(*seed) }},

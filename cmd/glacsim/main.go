@@ -7,17 +7,20 @@
 //	glacsim -days 120 -seed 42 [-scenario as-deployed-2008] [-v]
 //	glacsim -scenario fleet-N -stations 8 -days 30
 //	glacsim -sweep -scenario fleet-N,dual-base -seeds 8 -workers 4
+//	glacsim -sweep -scenario fleet-N -seeds 8 -out csv -o sweep.csv
 //	glacsim -list
 //
 // With -sweep the scenario flag takes a comma-separated list and the tool
 // runs the scenario x seed grid on the parallel sweep engine, printing the
-// per-cell results and per-configuration mean/stddev/min/max. The summary
-// is byte-identical for any -workers value.
+// per-cell results and per-configuration mean/stddev/min/max. -out selects
+// the encoding (text, csv or json) and -o redirects it to a file. The
+// summary is byte-identical for any -workers value in every encoding.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -51,6 +54,8 @@ func run() error {
 		doSweep  = flag.Bool("sweep", false, "run a scenario x seed sweep grid on the parallel engine")
 		seeds    = flag.Int("seeds", 4, "sweep: consecutive seeds starting at -seed")
 		workers  = flag.Int("workers", 0, "sweep: worker pool size (0 = GOMAXPROCS)")
+		out      = flag.String("out", "text", "sweep output encoding: text, csv or json")
+		outFile  = flag.String("o", "", "write the sweep output to a file instead of stdout")
 	)
 	flag.Parse()
 
@@ -66,7 +71,10 @@ func run() error {
 	}
 	if *doSweep {
 		return runSweep(*scen, *seed, *seeds, *workers, *days, *stations, *probes,
-			*start, *fixed, *csvPath, *verbose)
+			*start, *fixed, *csvPath, *verbose, *out, *outFile)
+	}
+	if *out != "text" || *outFile != "" {
+		return fmt.Errorf("-out and -o encode sweep summaries; use them with -sweep")
 	}
 	s, ok := scenario.Lookup(*scen)
 	if !ok {
@@ -151,14 +159,18 @@ func flagOverride(start string, fixed bool) (func(*deploy.Topology), error) {
 	}, nil
 }
 
-// runSweep fans the scenario list x seed range out over the sweep engine.
+// runSweep fans the scenario list x seed range out over the sweep engine
+// and writes the summary in the requested encoding.
 func runSweep(scen string, seed int64, seeds, workers, days, stations, probes int,
-	start string, fixed bool, csvPath string, verbose bool) error {
+	start string, fixed bool, csvPath string, verbose bool, out, outFile string) error {
 	if csvPath != "" || verbose {
 		return fmt.Errorf("-csv and -v apply to single runs, not -sweep")
 	}
 	if seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1")
+	}
+	if out != "text" && out != "csv" && out != "json" {
+		return fmt.Errorf("unknown -out encoding %q (text, csv or json)", out)
 	}
 	var names []string
 	for _, n := range strings.Split(scen, ",") {
@@ -186,7 +198,38 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 	if err != nil {
 		return err
 	}
-	fmt.Print(sum)
+	encode := func(w io.Writer) error {
+		switch out {
+		case "csv":
+			return sum.WriteCSV(w)
+		case "json":
+			return sum.WriteJSON(w)
+		default:
+			_, err := fmt.Fprint(w, sum)
+			return err
+		}
+	}
+	if outFile == "" {
+		if err := encode(os.Stdout); err != nil {
+			return fmt.Errorf("write sweep summary: %w", err)
+		}
+		return nil
+	}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", outFile, err)
+	}
+	if err := encode(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write sweep summary: %w", err)
+	}
+	// A failed close is a failed write (unflushed buffers, full disk) —
+	// never report a truncated artifact as written.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write sweep summary: %w", err)
+	}
+	fmt.Printf("sweep summary (%d cells, %d configurations) written to %s as %s\n",
+		len(sum.Cells), len(sum.Groups), outFile, out)
 	return nil
 }
 

@@ -102,6 +102,8 @@ type (
 	WeatherModel = weather.Model
 	// Series is a recorded time series (figures, traces).
 	Series = trace.Series
+	// TracePoint is one sample of a Series.
+	TracePoint = trace.Point
 	// Artifact is a remotely updatable program.
 	Artifact = update.Artifact
 	// FetchResult describes one probe bulk-fetch session.
@@ -169,8 +171,12 @@ func BuildScenario(name string, p ScenarioParams) (*Deployment, error) {
 // The parallel sweep engine: a SweepGrid declares scenario x seed x
 // override axes, RunSweep fans the cross-product out over a bounded worker
 // pool (one independent Deployment per cell), and the SweepSummary folds
-// each configuration's metrics across its seeds. Output is byte-identical
-// for any worker count.
+// each configuration's metrics across its seeds. A grid's Collect hook
+// captures named per-cell Series (battery curves, spool depth) alongside
+// the scalar metrics, and the summary exports as text (String), CSV
+// (WriteCSV — cells + group folds as two flat tables) or JSON (WriteJSON —
+// the full structure including every collected series point). Output is
+// byte-identical for any worker count in every encoding.
 type (
 	// SweepGrid declares a sweep's axes and per-cell hooks.
 	SweepGrid = sweep.Grid
@@ -253,7 +259,11 @@ func ApplyOverride(local, override PowerState) PowerState {
 	return power.ApplyOverride(local, override)
 }
 
-// SampleSeries attaches a periodic sampler to a simulator (figures).
+// NewSeries returns an empty named time series for hand-recorded traces.
+func NewSeries(name, unit string) *Series { return trace.NewSeries(name, unit) }
+
+// SampleSeries attaches a periodic sampler to a simulator (figures). A
+// baseline sample is recorded at attach time.
 func SampleSeries(sim *Simulator, interval time.Duration, name, unit string,
 	fn func(now time.Time) float64) (*Series, *simenv.Ticker) {
 	return trace.Sample(sim, interval, name, unit, fn)

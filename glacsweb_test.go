@@ -75,6 +75,46 @@ func TestFacadeTopologyWithFault(t *testing.T) {
 	}
 }
 
+// The sweep export path works end to end through the facade: a Collect
+// hook captures a per-cell series and both encoders emit it.
+func TestFacadeSweepExport(t *testing.T) {
+	sum, err := repro.RunSweep(repro.SweepGrid{
+		Scenarios: []string{"dual-base"},
+		Seeds:     repro.SeedRange(7, 2),
+		Days:      1,
+		Collect: func(c repro.SweepCell, d *repro.Deployment) []*repro.Series {
+			s, _ := repro.SampleSeries(d.Sim, 6*time.Hour, "volts", "V",
+				func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })
+			return []*repro.Series{s}
+		},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range sum.Cells {
+		ser, ok := cr.SeriesNamed("volts")
+		if !ok {
+			t.Fatalf("cell %s missing collected series", cr.Cell.Label())
+		}
+		if ser.Len() != 5 { // baseline + 4 six-hourly samples over one day
+			t.Fatalf("collected %d samples, want 5", ser.Len())
+		}
+	}
+	var csvBuf, jsonBuf strings.Builder
+	if err := sum.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), "dual-base") {
+		t.Fatal("CSV export missing cells")
+	}
+	if !strings.Contains(jsonBuf.String(), `"volts"`) {
+		t.Fatal("JSON export missing collected series")
+	}
+}
+
 func TestFacadePowerStateHelpers(t *testing.T) {
 	if repro.StateForVoltage(12.6) != repro.PowerState3 {
 		t.Fatal("StateForVoltage wrong")

@@ -1,0 +1,233 @@
+// Machine-readable encoders for sweep summaries: the CSV tables and JSON
+// documents that figures and external tooling consume, alongside the ASCII
+// String() rendering. Both encoders walk cells and groups in enumeration
+// order, so — like String() — their output is byte-identical for any
+// worker count. Non-finite values (a NaN or ±Inf metric a hook slipped
+// past the statsOf guard) are encoded as empty CSV fields and JSON nulls
+// rather than breaking the encoding.
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// metricColumns returns the union of metric names across every cell, in
+// first-seen order (deterministic, since cells are in enumeration order).
+func (s *Summary) metricColumns() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, cr := range s.Cells {
+		for _, m := range cr.Metrics {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				names = append(names, m.Name)
+			}
+		}
+	}
+	return names
+}
+
+// csvFloat renders a value for a CSV field: shortest exact representation,
+// empty for non-finite values.
+func csvFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCellsCSV writes one flat table with a row per cell: the cell's
+// identity columns, its error if any, then one column per metric (the
+// union across all cells; a metric a cell lacks is an empty field).
+func (s *Summary) WriteCellsCSV(w io.Writer) error {
+	metrics := s.metricColumns()
+	cw := csv.NewWriter(w)
+	header := append([]string{"index", "scenario", "seed", "stations", "probes", "override", "days", "err"}, metrics...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, cr := range s.Cells {
+		c := cr.Cell
+		row := []string{
+			strconv.Itoa(c.Index), c.Scenario, strconv.FormatInt(c.Seed, 10),
+			strconv.Itoa(c.Stations), strconv.Itoa(c.Probes), c.Override,
+			strconv.Itoa(c.Days), cr.Err,
+		}
+		for _, name := range metrics {
+			if v, ok := cr.Metric(name); ok {
+				row = append(row, csvFloat(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGroupsCSV writes one flat table with a row per (configuration,
+// metric): the configuration's identity and fold counts, then the metric's
+// n/mean/stddev/min/max.
+func (s *Summary) WriteGroupsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "stations", "probes", "override", "days",
+		"cells", "errors", "metric", "n", "mean", "stddev", "min", "max"}); err != nil {
+		return err
+	}
+	for _, gr := range s.Groups {
+		for _, st := range gr.Stats {
+			row := []string{
+				gr.Scenario, strconv.Itoa(gr.Stations), strconv.Itoa(gr.Probes),
+				gr.Override, strconv.Itoa(gr.Days),
+				strconv.Itoa(gr.N), strconv.Itoa(gr.Errors),
+				st.Name, strconv.Itoa(st.N),
+				csvFloat(st.Mean), csvFloat(st.Stddev), csvFloat(st.Min), csvFloat(st.Max),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the summary as its two flat tables — cells, then groups
+// — separated by one blank line. For single-table artifacts use
+// WriteCellsCSV / WriteGroupsCSV directly.
+func (s *Summary) WriteCSV(w io.Writer) error {
+	if err := s.WriteCellsCSV(w); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	return s.WriteGroupsCSV(w)
+}
+
+// The JSON document schema. Float fields are pointers so non-finite values
+// encode as null instead of erroring encoding/json out.
+type summaryJSON struct {
+	Cells  []cellJSON  `json:"cells"`
+	Groups []groupJSON `json:"groups"`
+}
+
+type cellJSON struct {
+	Index    int          `json:"index"`
+	Scenario string       `json:"scenario"`
+	Seed     int64        `json:"seed"`
+	Stations int          `json:"stations,omitempty"`
+	Probes   int          `json:"probes,omitempty"`
+	Override string       `json:"override,omitempty"`
+	Days     int          `json:"days"`
+	Err      string       `json:"err,omitempty"`
+	Metrics  []metricJSON `json:"metrics,omitempty"`
+	Series   []seriesJSON `json:"series,omitempty"`
+}
+
+type metricJSON struct {
+	Name  string   `json:"name"`
+	Value *float64 `json:"value"`
+}
+
+type seriesJSON struct {
+	Name   string      `json:"name"`
+	Unit   string      `json:"unit,omitempty"`
+	Points []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	T string   `json:"t"`
+	V *float64 `json:"v"`
+}
+
+type groupJSON struct {
+	Scenario string      `json:"scenario"`
+	Stations int         `json:"stations,omitempty"`
+	Probes   int         `json:"probes,omitempty"`
+	Override string      `json:"override,omitempty"`
+	Days     int         `json:"days"`
+	N        int         `json:"cells"`
+	Errors   int         `json:"errors,omitempty"`
+	Stats    []statsJSON `json:"stats"`
+}
+
+type statsJSON struct {
+	Name   string   `json:"name"`
+	N      int      `json:"n"`
+	Mean   *float64 `json:"mean"`
+	Stddev *float64 `json:"stddev"`
+	Min    *float64 `json:"min"`
+	Max    *float64 `json:"max"`
+}
+
+// finite returns &v, or nil (→ JSON null) for NaN/±Inf.
+func finite(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// WriteJSON writes the full summary — every cell with its metrics and
+// collected series points, every group with its folded stats — as one
+// indented JSON document. Timestamps are RFC 3339 UTC; non-finite floats
+// become null.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	doc := summaryJSON{
+		Cells:  []cellJSON{},
+		Groups: []groupJSON{},
+	}
+	for _, cr := range s.Cells {
+		c := cr.Cell
+		cj := cellJSON{
+			Index: c.Index, Scenario: c.Scenario, Seed: c.Seed,
+			Stations: c.Stations, Probes: c.Probes, Override: c.Override,
+			Days: c.Days, Err: cr.Err,
+		}
+		for _, m := range cr.Metrics {
+			cj.Metrics = append(cj.Metrics, metricJSON{Name: m.Name, Value: finite(m.Value)})
+		}
+		for _, ser := range cr.Series {
+			if ser == nil {
+				continue
+			}
+			sj := seriesJSON{Name: ser.Name, Unit: ser.Unit, Points: []pointJSON{}}
+			for _, p := range ser.Points() {
+				sj.Points = append(sj.Points, pointJSON{T: p.T.UTC().Format(time.RFC3339), V: finite(p.V)})
+			}
+			cj.Series = append(cj.Series, sj)
+		}
+		doc.Cells = append(doc.Cells, cj)
+	}
+	for _, gr := range s.Groups {
+		gj := groupJSON{
+			Scenario: gr.Scenario, Stations: gr.Stations, Probes: gr.Probes,
+			Override: gr.Override, Days: gr.Days, N: gr.N, Errors: gr.Errors,
+			Stats: []statsJSON{},
+		}
+		for _, st := range gr.Stats {
+			gj.Stats = append(gj.Stats, statsJSON{
+				Name: st.Name, N: st.N,
+				Mean: finite(st.Mean), Stddev: finite(st.Stddev),
+				Min: finite(st.Min), Max: finite(st.Max),
+			})
+		}
+		doc.Groups = append(doc.Groups, gj)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}

@@ -103,6 +103,13 @@ type Grid struct {
 	// extra metrics from the live deployment (per-station report scans,
 	// probe state, ...). Same concurrency contract as Drive.
 	Observe func(Cell, *deploy.Deployment) []Metric
+	// Collect, when set, is called after the cell's deployment is built
+	// but before it runs, so it can attach samplers (trace.Sample) or
+	// report-driven series to the live deployment. The returned series
+	// fill up during the run and land on CellResult.Series — per-cell
+	// curves for figures, not just scalar metrics. Same concurrency
+	// contract as Drive.
+	Collect func(Cell, *deploy.Deployment) []*trace.Series
 }
 
 // SeedRange returns n consecutive seeds starting at from — the usual seed
@@ -129,6 +136,37 @@ func (g Grid) Cells() ([]Cell, error) {
 	}
 	if g.Days < 0 {
 		return nil, fmt.Errorf("sweep: negative horizon %d", g.Days)
+	}
+	// Every axis must be duplicate-free: a repeated scenario, seed, fleet
+	// size or cohort size would enumerate the same configuration twice,
+	// silently inflating the group's N and skewing the stddev fold.
+	seenScen := make(map[string]bool, len(g.Scenarios))
+	for _, name := range g.Scenarios {
+		if seenScen[name] {
+			return nil, fmt.Errorf("sweep: duplicate scenario %q on the scenario axis", name)
+		}
+		seenScen[name] = true
+	}
+	seenSeed := make(map[int64]bool, len(g.Seeds))
+	for _, seed := range g.Seeds {
+		if seenSeed[seed] {
+			return nil, fmt.Errorf("sweep: duplicate seed %d on the seed axis", seed)
+		}
+		seenSeed[seed] = true
+	}
+	seenStations := make(map[int]bool, len(g.Stations))
+	for _, n := range g.Stations {
+		if seenStations[n] {
+			return nil, fmt.Errorf("sweep: duplicate fleet size %d on the stations axis", n)
+		}
+		seenStations[n] = true
+	}
+	seenProbes := make(map[int]bool, len(g.Probes))
+	for _, p := range g.Probes {
+		if seenProbes[p] {
+			return nil, fmt.Errorf("sweep: duplicate cohort size %d on the probes axis", p)
+		}
+		seenProbes[p] = true
 	}
 	seen := make(map[string]bool, len(g.Overrides))
 	for i, ov := range g.Overrides {
@@ -179,13 +217,25 @@ func (g Grid) Cells() ([]Cell, error) {
 }
 
 // CellResult is one executed cell: its identity, the deployment's final
-// Result, the extracted metrics, and the build/run error if any (as a
-// string, so summaries print deterministically).
+// Result, the extracted metrics, the series the grid's Collect hook
+// captured during the run, and the build/run error if any (as a string, so
+// summaries print deterministically).
 type CellResult struct {
 	Cell    Cell
 	Result  deploy.Result
 	Metrics []Metric
+	Series  []*trace.Series
 	Err     string
+}
+
+// SeriesNamed returns the collected series with the given name.
+func (cr CellResult) SeriesNamed(name string) (*trace.Series, bool) {
+	for _, s := range cr.Series {
+		if s != nil && s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
 }
 
 // Metric returns the named per-cell metric.
@@ -306,6 +356,11 @@ func (g Grid) runCell(c Cell) CellResult {
 		cr.Err = err.Error()
 		return cr
 	}
+	if g.Collect != nil {
+		// Attach samplers before the run so the series cover it end to end
+		// (including the t=0 baseline trace.Sample records at attach time).
+		cr.Series = g.Collect(c, d)
+	}
 	var extra []Metric
 	if g.Drive != nil {
 		extra, err = g.Drive(c, d)
@@ -388,26 +443,42 @@ func summarise(cells []CellResult) *Summary {
 }
 
 // statsOf computes mean, sample stddev, min and max of one metric's values.
+// Non-finite inputs (a NaN or ±Inf metric from a Drive/Observe hook) are
+// excluded from the fold, and an empty fold yields zero-valued stats with
+// N=0 — never the NaN mean or ±Inf min/max sentinels of a naive fold,
+// which would poison every encoder downstream.
 func statsOf(name string, vs []float64) Stats {
-	st := Stats{Name: name, N: len(vs), Min: math.Inf(1), Max: math.Inf(-1)}
+	st := Stats{Name: name}
 	var total float64
 	for _, v := range vs {
-		total += v
-		if v < st.Min {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if st.N == 0 || v < st.Min {
 			st.Min = v
 		}
-		if v > st.Max {
+		if st.N == 0 || v > st.Max {
 			st.Max = v
 		}
+		st.N++
+		total += v
 	}
-	st.Mean = total / float64(len(vs))
-	if len(vs) > 1 {
+	if st.N == 0 {
+		return st
+	}
+	st.Mean = total / float64(st.N)
+	if st.N > 1 {
 		var ss float64
+		n := 0
 		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
 			d := v - st.Mean
 			ss += d * d
+			n++
 		}
-		st.Stddev = math.Sqrt(ss / float64(len(vs)-1))
+		st.Stddev = math.Sqrt(ss / float64(n-1))
 	}
 	return st
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -77,6 +78,14 @@ func TestCellsValidation(t *testing.T) {
 		{"duplicate override", Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1},
 			Overrides: []Override{{Name: "x"}, {Name: "x"}}}, "duplicate override"},
 		{"negative days", Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1}, Days: -1}, "negative horizon"},
+		{"duplicate scenario", Grid{Scenarios: []string{"dual-base", "dual-base"},
+			Seeds: []int64{1}}, "duplicate scenario"},
+		{"duplicate seed", Grid{Scenarios: []string{"dual-base"},
+			Seeds: []int64{1, 2, 1}}, "duplicate seed"},
+		{"duplicate stations", Grid{Scenarios: []string{"fleet-N"}, Seeds: []int64{1},
+			Stations: []int{4, 4}}, "duplicate fleet size"},
+		{"duplicate probes", Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1},
+			Probes: []int{3, 3}}, "duplicate cohort size"},
 	}
 	for _, c := range cases {
 		if _, err := c.g.Cells(); err == nil || !strings.Contains(err.Error(), c.want) {
@@ -223,6 +232,26 @@ func TestObserveMetricsFoldAcrossSeeds(t *testing.T) {
 	}
 	if st.Stddev != 1 {
 		t.Fatalf("seed-echo stddev = %v, want 1 (sample stddev of 1,2,3)", st.Stddev)
+	}
+}
+
+// The statsOf fold must never emit the NaN mean of an empty fold or its
+// ±Inf min/max init values, and non-finite hook metrics are excluded
+// instead of poisoning the whole fold.
+func TestStatsOfGuardsNonFiniteValues(t *testing.T) {
+	if st := statsOf("empty", nil); st.N != 0 || st.Mean != 0 || st.Min != 0 || st.Max != 0 || st.Stddev != 0 {
+		t.Fatalf("empty fold = %+v, want all-zero stats", st)
+	}
+	st := statsOf("mixed", []float64{1, math.NaN(), 3, math.Inf(1), math.Inf(-1)})
+	if st.N != 2 || st.Mean != 2 || st.Min != 1 || st.Max != 3 {
+		t.Fatalf("mixed fold = %+v, want N=2 mean=2 min=1 max=3 (non-finite excluded)", st)
+	}
+	if math.IsNaN(st.Stddev) || math.IsInf(st.Stddev, 0) {
+		t.Fatalf("mixed fold stddev %v not finite", st.Stddev)
+	}
+	all := statsOf("all-bad", []float64{math.NaN(), math.Inf(1)})
+	if all.N != 0 || all.Mean != 0 || all.Min != 0 || all.Max != 0 {
+		t.Fatalf("all-non-finite fold = %+v, want all-zero stats", all)
 	}
 }
 

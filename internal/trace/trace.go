@@ -4,10 +4,12 @@
 package trace
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -89,28 +91,35 @@ func (s *Series) Window(from, to time.Time) *Series {
 }
 
 // Sample attaches a periodic sampler to the simulator, recording fn every
-// interval into the returned series. Stop the returned ticker to end
-// sampling.
+// interval into the returned series. A baseline sample is taken at attach
+// time, so the series always starts at t=0 of the observation window —
+// every figure wants the initial value, not the state one interval in.
+// Stop the returned ticker to end sampling.
 func Sample(sim *simenv.Simulator, interval time.Duration, name, unit string,
 	fn func(now time.Time) float64) (*Series, *simenv.Ticker) {
 	s := NewSeries(name, unit)
+	s.Add(sim.Now(), fn(sim.Now()))
 	tk := sim.Every(sim.Now().Add(interval), interval, "trace."+name, func(now time.Time) {
 		s.Add(now, fn(now))
 	})
 	return s, tk
 }
 
-// WriteCSV emits "time,value" rows (RFC 3339 timestamps).
+// WriteCSV emits "time,value" rows (RFC 3339 timestamps). The header and
+// values go through encoding/csv, so a series name containing commas,
+// quotes or newlines stays one parseable field.
 func (s *Series) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "time,%s\n", s.Name); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", s.Name}); err != nil {
 		return err
 	}
 	for _, p := range s.points {
-		if _, err := fmt.Fprintf(w, "%s,%.4f\n", p.T.UTC().Format(time.RFC3339), p.V); err != nil {
+		if err := cw.Write([]string{p.T.UTC().Format(time.RFC3339), strconv.FormatFloat(p.V, 'f', 4, 64)}); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // ASCIIChart renders one or more series into a fixed-size character chart —
@@ -198,15 +207,30 @@ func max(a, b int) int {
 }
 
 // Table renders rows of labelled values as an aligned ASCII table; used by
-// the report tool for Table I/II style output.
+// the report tool for Table I/II style output. A row wider than the header
+// is clamped to the header width, with the dropped cell count reported in
+// its last kept cell instead of panicking the whole render.
 func Table(header []string, rows [][]string) string {
+	clamped := make([][]string, len(rows))
+	for ri, r := range rows {
+		if len(r) <= len(header) {
+			clamped[ri] = r
+			continue
+		}
+		c := append([]string(nil), r[:len(header)]...)
+		if len(c) > 0 {
+			c[len(c)-1] += fmt.Sprintf(" (+%d cells clipped)", len(r)-len(header))
+		}
+		clamped[ri] = c
+	}
+	rows = clamped
 	widths := make([]int, len(header))
 	for i, h := range header {
 		widths[i] = len(h)
 	}
 	for _, r := range rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 	"time"
@@ -84,15 +85,25 @@ func TestSampleTicker(t *testing.T) {
 	if err := sim.RunFor(5 * time.Hour); err != nil {
 		t.Fatal(err)
 	}
-	if s.Len() != 5 {
-		t.Fatalf("sampled %d points in 5h, want 5", s.Len())
+	// Baseline at attach time plus one sample per elapsed hour.
+	if s.Len() != 6 {
+		t.Fatalf("sampled %d points in 5h, want 6 (baseline + 5)", s.Len())
 	}
 	tk.Stop()
 	if err := sim.RunFor(5 * time.Hour); err != nil {
 		t.Fatal(err)
 	}
-	if s.Len() != 5 {
+	if s.Len() != 6 {
 		t.Fatal("sampler kept running after Stop")
+	}
+}
+
+func TestSampleRecordsBaselineAtAttachTime(t *testing.T) {
+	sim := simenv.NewAt(1, t0)
+	s, _ := Sample(sim, time.Hour, "volts", "V", func(time.Time) float64 { return 12.5 })
+	pts := s.Points()
+	if len(pts) != 1 || !pts[0].T.Equal(t0) || pts[0].V != 12.5 {
+		t.Fatalf("baseline sample = %+v, want one point at attach time", pts)
 	}
 }
 
@@ -106,6 +117,26 @@ func TestWriteCSV(t *testing.T) {
 	out := b.String()
 	if !strings.HasPrefix(out, "time,volts\n") || !strings.Contains(out, "12.5000") {
 		t.Fatalf("csv: %q", out)
+	}
+}
+
+func TestWriteCSVEscapesSeriesName(t *testing.T) {
+	s := NewSeries(`volts,"raw"`, "V")
+	s.Add(t0, 12.5)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(b.String()))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, b.String())
+	}
+	if len(recs) != 2 || recs[0][1] != `volts,"raw"` {
+		t.Fatalf("header field mangled: %q", recs[0])
+	}
+	if recs[1][1] != "12.5000" {
+		t.Fatalf("value field = %q", recs[1][1])
 	}
 }
 
@@ -157,5 +188,18 @@ func TestTable(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "Device") || !strings.Contains(lines[3], "2640") {
 		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestTableClampsOversizedRows(t *testing.T) {
+	out := Table([]string{"A", "B"}, [][]string{
+		{"1", "2", "3", "4"},
+		{"5"},
+	})
+	if !strings.Contains(out, "(+2 cells clipped)") {
+		t.Fatalf("oversized row not reported:\n%s", out)
+	}
+	if strings.Contains(out, "3") || strings.Contains(out, "4") {
+		t.Fatalf("clipped cells leaked into output:\n%s", out)
 	}
 }
