@@ -72,37 +72,55 @@ var campaignEntries = []campaignEntry{
 	},
 }
 
-// Manifest document written beside the per-experiment artifacts.
+// Manifest document written beside the per-experiment artifacts. The
+// manifest is merge-aware: a sharded campaign records which shard it is
+// and, per experiment, the plan fingerprint and total cell count, so
+// mergeCampaign can validate shard directories against each other before
+// folding them into the full artifact set.
 type campaignManifest struct {
-	Campaign    string                 `json:"campaign"`
-	Seed        int64                  `json:"seed"`
-	Seeds       int                    `json:"seeds"`
-	Days        int                    `json:"days,omitempty"`
+	Campaign string `json:"campaign"`
+	Seed     int64  `json:"seed"`
+	Seeds    int    `json:"seeds"`
+	Days     int    `json:"days,omitempty"`
+	// Shard is "i/m" for a partial campaign, empty for a full one.
+	Shard       string                 `json:"shard,omitempty"`
 	Experiments []campaignManifestItem `json:"experiments"`
 }
 
 type campaignManifestItem struct {
-	ID        string `json:"id"`
-	Title     string `json:"title"`
-	CellsCSV  string `json:"cells_csv"`
-	GroupsCSV string `json:"groups_csv"`
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// CellsCSV and GroupsCSV are only written for complete summaries; a
+	// shard's partial artifact is its JSON (the merge wire format).
+	CellsCSV  string `json:"cells_csv,omitempty"`
+	GroupsCSV string `json:"groups_csv,omitempty"`
 	JSON      string `json:"json"`
-	Cells     int    `json:"cells"`
-	Groups    int    `json:"groups"`
-	Errors    int    `json:"errors,omitempty"`
+	// Fingerprint identifies the experiment's full plan; shard artifacts
+	// with different fingerprints never merge.
+	Fingerprint string `json:"fingerprint"`
+	Cells       int    `json:"cells"`
+	// TotalCells is the full plan's size, recorded when this artifact is
+	// a shard holding only Cells of them.
+	TotalCells int `json:"total_cells,omitempty"`
+	Groups     int `json:"groups"`
+	Errors     int `json:"errors,omitempty"`
 	// FixedHorizon marks experiments whose driver ignores the campaign's
 	// days setting, so the manifest never misdescribes what ran.
 	FixedHorizon bool `json:"fixed_horizon,omitempty"`
 }
 
-// runCampaign runs every campaign entry as one sweep each and writes the
-// artifact directory: <id>.cells.csv, <id>.groups.csv (single-width flat
-// tables any CSV reader takes as-is) and <id>.json per experiment, plus
-// manifest.json. Like every sweep output, the artifacts are byte-identical
-// for any worker count.
-func runCampaign(dir string, seed int64, seeds, days, workers int) error {
+// runCampaign runs every campaign entry as one sweep each — the whole
+// grid, or only shard shardI of shardM — and writes the artifact
+// directory. A full campaign writes <id>.cells.csv, <id>.groups.csv
+// (single-width flat tables any CSV reader takes as-is) and <id>.json per
+// experiment; a sharded campaign writes only the partial <id>.json (the
+// merge wire format). Both write manifest.json. Like every sweep output,
+// the artifacts are byte-identical for any worker count, and merging
+// shard directories (mergeCampaign) reproduces the full campaign's
+// artifacts byte for byte.
+func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM int, sharded bool) error {
 	if seeds < 1 {
-		return fmt.Errorf("-seeds must be >= 1")
+		return usageErrorf("-seeds must be >= 1")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("create artifact dir: %w", err)
@@ -112,40 +130,134 @@ func runCampaign(dir string, seed int64, seeds, days, workers int) error {
 		Seed:     seed, Seeds: seeds, Days: days,
 		Experiments: []campaignManifestItem{},
 	}
+	if sharded {
+		manifest.Shard = fmt.Sprintf("%d/%d", shardI, shardM)
+	}
 	for _, e := range campaignEntries {
 		if days > 0 && e.fixedHorizon {
 			fmt.Fprintf(os.Stderr, "glacreport %s: custom driver fixes its own horizon; -days %d ignored\n", e.id, days)
 		}
-		sum, err := sweep.Run(e.grid(seed, seeds, days), workers)
+		g := e.grid(seed, seeds, days)
+		var sum *sweep.Summary
+		var err error
+		if sharded {
+			sum, err = sweep.RunShard(g, shardI, shardM, workers)
+		} else {
+			sum, err = sweep.Run(g, workers)
+		}
 		if err != nil {
 			return fmt.Errorf("campaign %s: %w", e.id, err)
 		}
-		item := campaignManifestItem{
-			ID: e.id, Title: e.title,
-			CellsCSV: e.id + ".cells.csv", GroupsCSV: e.id + ".groups.csv",
-			JSON:  e.id + ".json",
-			Cells: len(sum.Cells), Groups: len(sum.Groups),
-			FixedHorizon: e.fixedHorizon,
-		}
-		for _, cr := range sum.Cells {
-			if cr.Err != "" {
-				item.Errors++
-				fmt.Fprintf(os.Stderr, "glacreport %s: cell %s: %s\n", e.id, cr.Cell.Label(), cr.Err)
-			}
-		}
-		if err := writeArtifact(filepath.Join(dir, item.CellsCSV), sum.WriteCellsCSV); err != nil {
-			return fmt.Errorf("campaign %s: %w", e.id, err)
-		}
-		if err := writeArtifact(filepath.Join(dir, item.GroupsCSV), sum.WriteGroupsCSV); err != nil {
-			return fmt.Errorf("campaign %s: %w", e.id, err)
-		}
-		if err := writeArtifact(filepath.Join(dir, item.JSON), sum.WriteJSON); err != nil {
-			return fmt.Errorf("campaign %s: %w", e.id, err)
+		item, err := writeExperiment(dir, e, sum, sharded)
+		if err != nil {
+			return err
 		}
 		manifest.Experiments = append(manifest.Experiments, item)
+	}
+	return writeManifest(dir, manifest)
+}
+
+// mergeCampaign folds shard artifact directories into the full campaign:
+// per experiment it reads every shard's partial JSON, merges them
+// (validating fingerprints, overlap and coverage) and writes the complete
+// artifact set — byte-identical to a single-process campaign run,
+// manifest included.
+func mergeCampaign(dir string, shardDirs []string) error {
+	if len(shardDirs) == 0 {
+		return usageErrorf("-merge needs the shard artifact directories as arguments")
+	}
+	manifests := make([]campaignManifest, len(shardDirs))
+	for i, sd := range shardDirs {
+		m, err := readManifest(filepath.Join(sd, "manifest.json"))
+		if err != nil {
+			return err
+		}
+		if m.Shard == "" {
+			return fmt.Errorf("%s: not a shard campaign (no shard field in manifest)", sd)
+		}
+		if i > 0 {
+			m0 := manifests[0]
+			if m.Campaign != m0.Campaign || m.Seed != m0.Seed || m.Seeds != m0.Seeds || m.Days != m0.Days {
+				return fmt.Errorf("%s: shard campaign parameters differ from %s (campaign/seed/seeds/days must match)",
+					sd, shardDirs[0])
+			}
+		}
+		manifests[i] = m
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create artifact dir: %w", err)
+	}
+	manifest := campaignManifest{
+		Campaign: manifests[0].Campaign,
+		Seed:     manifests[0].Seed, Seeds: manifests[0].Seeds, Days: manifests[0].Days,
+		Experiments: []campaignManifestItem{},
+	}
+	for _, e := range campaignEntries {
+		parts := make([]*sweep.Summary, len(shardDirs))
+		for i, sd := range shardDirs {
+			part, err := sweep.ReadSummaryFile(filepath.Join(sd, e.id+".json"))
+			if err != nil {
+				return fmt.Errorf("campaign %s: %w", e.id, err)
+			}
+			parts[i] = part
+		}
+		sum, err := sweep.MergeSummaries(parts...)
+		if err != nil {
+			return fmt.Errorf("campaign %s: %w", e.id, err)
+		}
+		item, err := writeExperiment(dir, e, sum, false)
+		if err != nil {
+			return err
+		}
+		manifest.Experiments = append(manifest.Experiments, item)
+	}
+	return writeManifest(dir, manifest)
+}
+
+// writeExperiment writes one experiment's artifacts (partial JSON only for
+// a shard; the full CSV+JSON set otherwise) and returns its manifest item.
+func writeExperiment(dir string, e campaignEntry, sum *sweep.Summary, sharded bool) (campaignManifestItem, error) {
+	item := campaignManifestItem{
+		ID: e.id, Title: e.title,
+		JSON:        e.id + ".json",
+		Fingerprint: sum.Fingerprint,
+		Cells:       len(sum.Cells), Groups: len(sum.Groups),
+		FixedHorizon: e.fixedHorizon,
+	}
+	if sharded {
+		item.TotalCells = sum.TotalCells
+	} else {
+		item.CellsCSV = e.id + ".cells.csv"
+		item.GroupsCSV = e.id + ".groups.csv"
+	}
+	for _, cr := range sum.Cells {
+		if cr.Err != "" {
+			item.Errors++
+			fmt.Fprintf(os.Stderr, "glacreport %s: cell %s: %s\n", e.id, cr.Cell.Label(), cr.Err)
+		}
+	}
+	if !sharded {
+		if err := writeArtifact(filepath.Join(dir, item.CellsCSV), sum.WriteCellsCSV); err != nil {
+			return item, fmt.Errorf("campaign %s: %w", e.id, err)
+		}
+		if err := writeArtifact(filepath.Join(dir, item.GroupsCSV), sum.WriteGroupsCSV); err != nil {
+			return item, fmt.Errorf("campaign %s: %w", e.id, err)
+		}
+	}
+	if err := writeArtifact(filepath.Join(dir, item.JSON), sum.WriteJSON); err != nil {
+		return item, fmt.Errorf("campaign %s: %w", e.id, err)
+	}
+	if sharded {
+		fmt.Printf("%-18s %3d of %3d cells  -> %s\n", e.id, item.Cells, item.TotalCells, item.JSON)
+	} else {
 		fmt.Printf("%-18s %3d cells  %2d configurations  -> %s, %s, %s\n",
 			e.id, item.Cells, item.Groups, item.CellsCSV, item.GroupsCSV, item.JSON)
 	}
+	return item, nil
+}
+
+// writeManifest writes the campaign manifest beside the artifacts.
+func writeManifest(dir string, manifest campaignManifest) error {
 	out, err := json.MarshalIndent(manifest, "", "  ")
 	if err != nil {
 		return err
@@ -155,6 +267,19 @@ func runCampaign(dir string, seed int64, seeds, days, workers int) error {
 	}
 	fmt.Printf("campaign manifest -> %s\n", filepath.Join(dir, "manifest.json"))
 	return nil
+}
+
+// readManifest loads a shard directory's manifest.
+func readManifest(path string) (campaignManifest, error) {
+	var m campaignManifest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
 }
 
 // writeArtifact streams one encoder into a freshly created file.

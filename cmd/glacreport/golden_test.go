@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment tables")
+
+// goldenExperiments pins glacreport experiment text tables byte for byte,
+// extending the golden-trace harness (internal/scenario, internal/sweep)
+// to the report tool itself. x4 is the pick: pure §VI arithmetic plus
+// three deterministic deployment runs, so any drift in the dGPS model,
+// the watchdog, special ordering or the table renderer shows up here.
+var goldenExperiments = []struct {
+	name string
+	run  func() error
+}{
+	{"x4-watchdog", func() error { return expWatchdog(42) }},
+}
+
+// TestGoldenExperimentTables captures each experiment's stdout and
+// compares it against its golden file. Regenerate deliberately with:
+//
+//	go test ./cmd/glacreport -run TestGoldenExperimentTables -update
+func TestGoldenExperimentTables(t *testing.T) {
+	for _, g := range goldenExperiments {
+		t.Run(g.name, func(t *testing.T) {
+			got := captureStdout(t, g.run)
+			path := filepath.Join("testdata", "golden", g.name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden table (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s diverged from its golden table.\n--- got:\n%s--- want:\n%s"+
+					"If the change is intentional, regenerate with: go test ./cmd/glacreport -run TestGoldenExperimentTables -update",
+					g.name, got, want)
+			}
+		})
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer — the
+// experiment functions print straight to stdout, exactly as the CLI does.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	ferr := fn()
+	_ = w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("experiment failed: %v", ferr)
+	}
+	return out
+}

@@ -7,6 +7,8 @@
 //	glacreport -exp all          # everything
 //	glacreport -exp t1,t2,f5     # a subset
 //	glacreport -campaign -dir artifacts -seeds 3
+//	glacreport -campaign -shard 0/3 -dir shard0 -seeds 3
+//	glacreport -campaign -merge -dir merged shard0 shard1 shard2
 //
 // Experiment IDs: t1 t2 f3 f4 f5 f6 x1 x2 x3 x4 x5 x6 x7 x8 x9 ext1 (see
 // EXPERIMENTS.md for the index).
@@ -17,6 +19,11 @@
 // group folds) and one JSON document per experiment (including per-cell
 // voltage series) plus a manifest.json — machine-readable artifacts ready
 // for plotting.
+//
+// -shard i/m runs only shard i of m of every experiment grid, writing the
+// partial <id>.json artifacts plus a merge-aware manifest; -campaign
+// -merge folds shard directories back into the full artifact set, byte
+// for byte identical to an unsharded campaign run.
 package main
 
 import (
@@ -25,7 +32,23 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/sweep"
 )
+
+const usageLine = "usage: glacreport [-exp IDs] | " +
+	"-campaign [-dir DIR] [-seeds N] [-days N] [-workers W] [-shard i/m] | " +
+	"-campaign -merge [-dir DIR] SHARDDIR..."
+
+// usageErrorf marks a bad flag combination: main prints the usage line
+// and exits 2, distinct from runtime failures.
+var usageErrorf = cliutil.Usagef
+
+// fail prints the error — plus the usage line for usage errors — and exits.
+func fail(prefix string, err error) {
+	cliutil.Fail(prefix, usageLine, err)
+}
 
 type experiment struct {
 	id    string
@@ -35,32 +58,36 @@ type experiment struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		campaign = flag.Bool("campaign", false, "run the x-series as one sweep campaign and write machine-readable artifacts")
-		dir      = flag.String("dir", "artifacts", "campaign: artifact output directory")
-		seeds    = flag.Int("seeds", 3, "campaign: consecutive seeds per grid starting at -seed")
-		days     = flag.Int("days", 0, "campaign: horizon override for grid experiments (0 = per-experiment default)")
-		workers  = flag.Int("workers", 0, "campaign: sweep worker pool size (0 = GOMAXPROCS)")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		campaign  = flag.Bool("campaign", false, "run the x-series as one sweep campaign and write machine-readable artifacts")
+		dir       = flag.String("dir", "artifacts", "campaign: artifact output directory")
+		seeds     = flag.Int("seeds", 3, "campaign: consecutive seeds per grid starting at -seed")
+		days      = flag.Int("days", 0, "campaign: horizon override for grid experiments (0 = per-experiment default)")
+		workers   = flag.Int("workers", 0, "campaign: sweep worker pool size (0 = GOMAXPROCS)")
+		shard     = flag.String("shard", "", "campaign: run only shard i/m of every experiment grid and write partial artifacts")
+		mergeFlag = flag.Bool("merge", false, "campaign: merge shard artifact directories (the positional arguments) into full artifacts")
 	)
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *campaign {
-		if err := runCampaign(*dir, *seed, *seeds, *days, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "glacreport -campaign: %v\n", err)
-			os.Exit(1)
+		if err := runCampaignMode(*dir, *seed, *seeds, *days, *workers, *shard, *mergeFlag, set, flag.Args()); err != nil {
+			fail("glacreport -campaign", err)
 		}
 		return
 	}
 	// Campaign-only flags are a misuse without -campaign — fail loudly
 	// instead of silently running the default table experiments.
-	campaignOnly := map[string]bool{"dir": true, "seeds": true, "days": true, "workers": true}
-	flag.Visit(func(f *flag.Flag) {
-		if campaignOnly[f.Name] {
-			fmt.Fprintf(os.Stderr, "glacreport: -%s configures the sweep campaign; use it with -campaign\n", f.Name)
-			os.Exit(2)
+	for _, name := range []string{"dir", "seeds", "days", "workers", "shard", "merge"} {
+		if set[name] {
+			fail("glacreport", usageErrorf("-%s configures the sweep campaign; use it with -campaign", name))
 		}
-	})
+	}
+	if flag.NArg() > 0 {
+		fail("glacreport", usageErrorf("unexpected arguments %q (only -campaign -merge reads directories)", flag.Args()))
+	}
 
 	exps := []experiment{
 		{"t1", "Table I — characteristics of system components", func() error { return tableI(*seed) }},
@@ -114,6 +141,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runCampaignMode validates the campaign flag combinations and dispatches
+// to the run, shard-run or merge path.
+func runCampaignMode(dir string, seed int64, seeds, days, workers int,
+	shard string, merge bool, set map[string]bool, args []string) error {
+	if merge {
+		if set["shard"] {
+			return usageErrorf("-shard and -merge are exclusive: shards are produced first, merged after")
+		}
+		// Allowlist, not denylist: a merge takes every campaign parameter
+		// from the shard manifests, so any other flag — -seeds, -exp, or
+		// one added later — would silently mean nothing.
+		if bad := cliutil.FlagsOutside(set, "campaign", "merge", "dir"); len(bad) > 0 {
+			return usageErrorf("-%s does not apply to -campaign -merge (the shard manifests carry the campaign parameters)", bad[0])
+		}
+		return mergeCampaign(dir, args)
+	}
+	if len(args) > 0 {
+		return usageErrorf("unexpected arguments %q (only -merge reads shard directories)", args)
+	}
+	shardI, shardM, err := sweep.ParseShardSpec(shard)
+	if err != nil {
+		return usageErrorf("-shard: %v", err)
+	}
+	// set["shard"] rather than shardM > 1: an explicit -shard 0/1 is still
+	// a shard campaign (partial JSON + merge-aware manifest), so scripts
+	// parameterised over the shard count work at m=1 too.
+	return runCampaign(dir, seed, seeds, days, workers, shardI, shardM, set["shard"])
 }
 
 func rule() string { return strings.Repeat("=", 78) }

@@ -8,13 +8,23 @@
 //	glacsim -scenario fleet-N -stations 8 -days 30
 //	glacsim -sweep -scenario fleet-N,dual-base -seeds 8 -workers 4
 //	glacsim -sweep -scenario fleet-N -seeds 8 -out csv -o sweep.csv
+//	glacsim -sweep -scenario fleet-N -seeds 8 -shard 0/3 -out json -o shard0.json
+//	glacsim -merge -out json -o merged.json shard0.json shard1.json shard2.json
 //	glacsim -list
 //
 // With -sweep the scenario flag takes a comma-separated list and the tool
 // runs the scenario x seed grid on the parallel sweep engine, printing the
 // per-cell results and per-configuration mean/stddev/min/max. -out selects
-// the encoding (text, csv or json) and -o redirects it to a file. The
-// summary is byte-identical for any -workers value in every encoding.
+// the encoding (text, csv, cells-csv, groups-csv or json) and -o redirects
+// it to a file. The summary is byte-identical for any -workers value in
+// every encoding.
+//
+// -shard i/m runs only shard i of m of the grid (cells whose global index
+// ≡ i mod m) and writes a partial summary; encode it as json — that
+// document is the shard wire format. -merge reads any number of partial
+// summary files, validates they shard one grid (same plan fingerprint, no
+// overlap, nothing missing) and folds them into the full summary,
+// byte-identical to a single-process run in every encoding.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/deploy"
 	"repro/internal/scenario"
 	"repro/internal/station"
@@ -32,10 +43,20 @@ import (
 	"repro/internal/trace"
 )
 
+const usageLine = "usage: glacsim [-scenario NAME] [-days N] [-v] | " +
+	"-sweep [-shard i/m] [-out text|csv|cells-csv|groups-csv|json] [-o FILE] | " +
+	"-merge [-out ENC] [-o FILE] FILE... | -list"
+
+// usageErrorf marks a bad flag combination: main prints the usage line
+// and exits 2, distinct from runtime failures.
+var usageErrorf = cliutil.Usagef
+
+// flagsOutside lists explicitly-set flags outside a mode's allowlist.
+var flagsOutside = cliutil.FlagsOutside
+
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "glacsim:", err)
-		os.Exit(1)
+		cliutil.Fail("glacsim", usageLine, err)
 	}
 }
 
@@ -54,12 +75,48 @@ func run() error {
 		doSweep  = flag.Bool("sweep", false, "run a scenario x seed sweep grid on the parallel engine")
 		seeds    = flag.Int("seeds", 4, "sweep: consecutive seeds starting at -seed")
 		workers  = flag.Int("workers", 0, "sweep: worker pool size (0 = GOMAXPROCS)")
-		out      = flag.String("out", "text", "sweep output encoding: text, csv or json")
-		outFile  = flag.String("o", "", "write the sweep output to a file instead of stdout")
+		shard    = flag.String("shard", "", "sweep: run only shard i/m of the grid and write a partial summary")
+		merge    = flag.Bool("merge", false, "merge partial summary files (json shard wire format) into the full summary")
+		out      = flag.String("out", "text", "output encoding: text, csv, cells-csv, groups-csv or json")
+		outFile  = flag.String("o", "", "write the output to a file instead of stdout")
 	)
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	switch *out {
+	case "text", "csv", "cells-csv", "groups-csv", "json":
+	default:
+		return usageErrorf("unknown -out encoding %q (text, csv, cells-csv, groups-csv or json)", *out)
+	}
+	// -o without an explicit encoding silently wrote text files that look
+	// like failed CSV exports; make the intent explicit.
+	if set["o"] && !set["out"] {
+		return usageErrorf("-o needs an explicit -out encoding")
+	}
+
+	if *merge {
+		// Allowlist, not denylist: any flag outside the merge surface is a
+		// mistake — including flags added in the future — never silently
+		// ignored.
+		if bad := flagsOutside(set, "merge", "out", "o"); len(bad) > 0 {
+			return usageErrorf("-%s does not apply to -merge", bad[0])
+		}
+		if flag.NArg() == 0 {
+			return usageErrorf("-merge needs at least one partial summary file")
+		}
+		return runMerge(flag.Args(), *out, *outFile)
+	}
+	if flag.NArg() > 0 {
+		return usageErrorf("unexpected arguments %q (only -merge reads files)", flag.Args())
+	}
 
 	if *list {
+		// -list is its own mode: combining it with run or sweep flags
+		// (even a malformed -shard) must not be silently ignored.
+		if bad := flagsOutside(set, "list"); len(bad) > 0 {
+			return usageErrorf("-%s does not apply to -list", bad[0])
+		}
 		for _, s := range scenario.List() {
 			fmt.Printf("%-18s %3dd  %s\n", s.Name, s.DefaultDays, s.Description)
 		}
@@ -67,14 +124,21 @@ func run() error {
 	}
 
 	if *days < 0 || *stations < 0 || *probes < 0 {
-		return fmt.Errorf("-days, -stations and -probes must be >= 0")
+		return usageErrorf("-days, -stations and -probes must be >= 0")
+	}
+	shardI, shardM, err := parseShard(*shard)
+	if err != nil {
+		return err
 	}
 	if *doSweep {
 		return runSweep(*scen, *seed, *seeds, *workers, *days, *stations, *probes,
-			*start, *fixed, *csvPath, *verbose, *out, *outFile)
+			*start, *fixed, *csvPath, *verbose, shardI, shardM, set["shard"], *out, *outFile)
+	}
+	if set["shard"] {
+		return usageErrorf("-shard slices sweep grids; use it with -sweep")
 	}
 	if *out != "text" || *outFile != "" {
-		return fmt.Errorf("-out and -o encode sweep summaries; use them with -sweep")
+		return usageErrorf("-out and -o encode sweep summaries; use them with -sweep or -merge")
 	}
 	s, ok := scenario.Lookup(*scen)
 	if !ok {
@@ -132,6 +196,16 @@ func run() error {
 	return nil
 }
 
+// parseShard parses the -shard flag ("i/m"; "" = the whole grid) into a
+// usage error on malformed input.
+func parseShard(s string) (i, m int, err error) {
+	i, m, err = sweep.ParseShardSpec(s)
+	if err != nil {
+		return 0, 0, usageErrorf("-shard: %v", err)
+	}
+	return i, m, nil
+}
+
 // flagOverride turns the -start/-special-first flags into one topology
 // mutation shared by the single-run and sweep paths; nil when neither flag
 // is set.
@@ -159,18 +233,18 @@ func flagOverride(start string, fixed bool) (func(*deploy.Topology), error) {
 	}, nil
 }
 
-// runSweep fans the scenario list x seed range out over the sweep engine
-// and writes the summary in the requested encoding.
+// runSweep fans the scenario list x seed range out over the sweep engine —
+// the whole grid, or only shard shardI of shardM when -shard was given
+// (0/1 is still a shard run, so scripts parameterised over the shard
+// count work at m=1) — and writes the summary in the requested encoding.
 func runSweep(scen string, seed int64, seeds, workers, days, stations, probes int,
-	start string, fixed bool, csvPath string, verbose bool, out, outFile string) error {
+	start string, fixed bool, csvPath string, verbose bool,
+	shardI, shardM int, sharded bool, out, outFile string) error {
 	if csvPath != "" || verbose {
-		return fmt.Errorf("-csv and -v apply to single runs, not -sweep")
+		return usageErrorf("-csv and -v apply to single runs, not -sweep")
 	}
 	if seeds < 1 {
-		return fmt.Errorf("-seeds must be >= 1")
-	}
-	if out != "text" && out != "csv" && out != "json" {
-		return fmt.Errorf("unknown -out encoding %q (text, csv or json)", out)
+		return usageErrorf("-seeds must be >= 1")
 	}
 	var names []string
 	for _, n := range strings.Split(scen, ",") {
@@ -194,14 +268,49 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 	if apply != nil {
 		g.Overrides = []sweep.Override{{Name: "flags", Apply: apply}}
 	}
-	sum, err := sweep.Run(g, workers)
+	var sum *sweep.Summary
+	if sharded {
+		sum, err = sweep.RunShard(g, shardI, shardM, workers)
+	} else {
+		sum, err = sweep.Run(g, workers)
+	}
 	if err != nil {
 		return err
 	}
+	what := "sweep summary"
+	if sharded {
+		what = fmt.Sprintf("partial summary (shard %d/%d)", shardI, shardM)
+	}
+	return writeSummary(sum, what, out, outFile)
+}
+
+// runMerge folds partial summary files into the full-grid summary.
+func runMerge(files []string, out, outFile string) error {
+	parts := make([]*sweep.Summary, len(files))
+	for i, path := range files {
+		part, err := sweep.ReadSummaryFile(path)
+		if err != nil {
+			return err
+		}
+		parts[i] = part
+	}
+	sum, err := sweep.MergeSummaries(parts...)
+	if err != nil {
+		return err
+	}
+	return writeSummary(sum, fmt.Sprintf("merged summary (%d shards)", len(files)), out, outFile)
+}
+
+// writeSummary encodes a summary to stdout or a file.
+func writeSummary(sum *sweep.Summary, what, out, outFile string) error {
 	encode := func(w io.Writer) error {
 		switch out {
 		case "csv":
 			return sum.WriteCSV(w)
+		case "cells-csv":
+			return sum.WriteCellsCSV(w)
+		case "groups-csv":
+			return sum.WriteGroupsCSV(w)
 		case "json":
 			return sum.WriteJSON(w)
 		default:
@@ -211,7 +320,7 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 	}
 	if outFile == "" {
 		if err := encode(os.Stdout); err != nil {
-			return fmt.Errorf("write sweep summary: %w", err)
+			return fmt.Errorf("write %s: %w", what, err)
 		}
 		return nil
 	}
@@ -221,15 +330,15 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 	}
 	if err := encode(f); err != nil {
 		_ = f.Close()
-		return fmt.Errorf("write sweep summary: %w", err)
+		return fmt.Errorf("write %s: %w", what, err)
 	}
 	// A failed close is a failed write (unflushed buffers, full disk) —
 	// never report a truncated artifact as written.
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("write sweep summary: %w", err)
+		return fmt.Errorf("write %s: %w", what, err)
 	}
-	fmt.Printf("sweep summary (%d cells, %d configurations) written to %s as %s\n",
-		len(sum.Cells), len(sum.Groups), outFile, out)
+	fmt.Printf("%s (%d of %d cells, %d configurations) written to %s as %s\n",
+		what, len(sum.Cells), sum.TotalCells, len(sum.Groups), outFile, out)
 	return nil
 }
 

@@ -32,6 +32,7 @@
 package repro
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/comms"
@@ -168,20 +169,31 @@ func BuildScenario(name string, p ScenarioParams) (*Deployment, error) {
 	return scenario.Build(name, p)
 }
 
-// The parallel sweep engine: a SweepGrid declares scenario x seed x
-// override axes, RunSweep fans the cross-product out over a bounded worker
-// pool (one independent Deployment per cell), and the SweepSummary folds
-// each configuration's metrics across its seeds. A grid's Collect hook
-// captures named per-cell Series (battery curves, spool depth) alongside
-// the scalar metrics, and the summary exports as text (String), CSV
-// (WriteCSV — cells + group folds as two flat tables) or JSON (WriteJSON —
-// the full structure including every collected series point). Output is
-// byte-identical for any worker count in every encoding.
+// The parallel sweep engine, a Plan / Execute / Reduce pipeline: a
+// SweepGrid declares scenario x seed x override axes (plus fleet-size,
+// cohort-size, weather-config and probe-lifetime axes), PlanSweep
+// enumerates the cross-product into ordered cells, a SweepRunner executes
+// them (RunSweep wires the in-process LocalRunner; one independent
+// Deployment per cell), and the SweepSummary folds each configuration's
+// metrics across its seeds. A grid's Collect hook captures named per-cell
+// Series (battery curves, spool depth) alongside the scalar metrics, and
+// the summary exports as text (String), CSV (WriteCSV — cells + group
+// folds as two flat tables) or JSON (WriteJSON — the full structure
+// including every collected series point). Output is byte-identical for
+// any worker count in every encoding.
+//
+// Sweeps also distribute: ShardSweepCells slices a plan deterministically,
+// RunSweepShard executes one shard into a partial summary, WriteJSON /
+// ReadSweepSummary carry partials between processes, and MergeSummaries
+// folds them back — validating grid fingerprints, overlap and coverage —
+// into output byte-identical to a single-process run.
 type (
 	// SweepGrid declares a sweep's axes and per-cell hooks.
 	SweepGrid = sweep.Grid
 	// SweepOverride is one named topology mutation on the override axis.
 	SweepOverride = sweep.Override
+	// SweepWeather is one named climate on the weather axis.
+	SweepWeather = sweep.WeatherSpec
 	// SweepCell identifies one point of the grid cross-product.
 	SweepCell = sweep.Cell
 	// SweepCellResult is one executed cell with its metrics.
@@ -192,8 +204,12 @@ type (
 	SweepStats = sweep.Stats
 	// SweepGroup is one configuration's fold across its seeds.
 	SweepGroup = sweep.Group
-	// SweepSummary is a completed sweep.
+	// SweepSummary is a reduced sweep — full, or one shard's partial.
 	SweepSummary = sweep.Summary
+	// SweepRunner executes planned sweep cells.
+	SweepRunner = sweep.Runner
+	// SweepLocalRunner is the in-process bounded worker pool.
+	SweepLocalRunner = sweep.LocalRunner
 )
 
 // RunSweep executes the grid on a bounded worker pool (workers <= 0 means
@@ -201,6 +217,33 @@ type (
 func RunSweep(g SweepGrid, workers int) (*SweepSummary, error) {
 	return sweep.Run(g, workers)
 }
+
+// PlanSweep enumerates the grid's cross-product into the ordered cell
+// list a SweepRunner executes.
+func PlanSweep(g SweepGrid) ([]SweepCell, error) { return sweep.Plan(g) }
+
+// ShardSweepCells returns shard i of m of a plan (cells with global index
+// ≡ i mod m); shards partition the plan.
+func ShardSweepCells(plan []SweepCell, i, m int) ([]SweepCell, error) {
+	return sweep.Shard(plan, i, m)
+}
+
+// RunSweepShard executes only shard i of m of the grid into a partial
+// summary carrying the full plan's fingerprint, ready for MergeSummaries.
+func RunSweepShard(g SweepGrid, i, m, workers int) (*SweepSummary, error) {
+	return sweep.RunShard(g, i, m, workers)
+}
+
+// MergeSummaries folds partial summaries from any number of shards into
+// the full-grid summary, byte-identical to a single-process run; it
+// validates grid fingerprints and rejects overlapping or missing cells.
+func MergeSummaries(parts ...*SweepSummary) (*SweepSummary, error) {
+	return sweep.MergeSummaries(parts...)
+}
+
+// ReadSweepSummary decodes a summary (full or partial) from its WriteJSON
+// document — the shard wire format.
+func ReadSweepSummary(r io.Reader) (*SweepSummary, error) { return sweep.ReadSummary(r) }
 
 // SeedRange returns n consecutive seeds starting at from — the usual seed
 // axis of a SweepGrid.

@@ -1,0 +1,58 @@
+// Package cliutil is the flag-validation error plumbing cmd/glacsim and
+// cmd/glacreport share: a usage error is a bad flag combination, printed
+// with the tool's usage line and exit code 2, distinct from runtime
+// failures (exit 1).
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// UsageError marks a bad flag combination.
+type UsageError struct{ Msg string }
+
+func (e UsageError) Error() string { return e.Msg }
+
+// Usagef returns a formatted UsageError.
+func Usagef(format string, a ...any) error {
+	return UsageError{Msg: fmt.Sprintf(format, a...)}
+}
+
+// IsUsage reports whether err is (or wraps) a UsageError.
+func IsUsage(err error) bool {
+	var ue UsageError
+	return errors.As(err, &ue)
+}
+
+// FlagsOutside returns the explicitly-set flag names not in the allowed
+// list, sorted — the allowlist check for flags that select an exclusive
+// mode (a merge, say): anything outside the mode's surface is reported,
+// never silently ignored, including flags added later.
+func FlagsOutside(set map[string]bool, allowed ...string) []string {
+	ok := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	var bad []string
+	for name := range set {
+		if !ok[name] {
+			bad = append(bad, name)
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+// Fail prints the error to stderr under the tool's name and exits: usage
+// errors add the usage line and exit 2, everything else exits 1.
+func Fail(tool, usageLine string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	if IsUsage(err) {
+		fmt.Fprintln(os.Stderr, usageLine)
+		os.Exit(2)
+	}
+	os.Exit(1)
+}

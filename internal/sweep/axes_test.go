@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/weather"
+)
+
+// The weather axis swaps named climates into cells: a dead-calm dark
+// config must observably change the cell's climate, and the axis must be
+// duplicate-rejected and label-carrying like every other axis.
+func TestWeatherAxis(t *testing.T) {
+	dark := weather.DefaultConfig(0) // seed 0 defers to the cell's topology seed
+	// weather.New fills zero fields with the Iceland defaults, so "almost
+	// no sun or wind" is the dimmest expressible climate.
+	dark.PeakIrradiance = 1
+	dark.MeanWind = 0.01
+	g := Grid{
+		Scenarios: []string{"as-deployed-2008"},
+		Seeds:     []int64{3},
+		Days:      2,
+		Weathers: []WeatherSpec{
+			{Name: "iceland", Config: weather.DefaultConfig(0)},
+			{Name: "dark-calm", Config: dark},
+		},
+		Observe: func(c Cell, d *deploy.Deployment) []Metric {
+			noon := d.Sim.Now().Add(-12 * time.Hour)
+			return []Metric{{Name: "noon-sun", Value: d.WX.Sample(noon).SolarIrradiance}}
+		},
+	}
+	sum, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (one per weather config)", len(sum.Cells))
+	}
+	if sum.Cells[0].Cell.Weather != "iceland" || sum.Cells[1].Cell.Weather != "dark-calm" {
+		t.Fatalf("weather axis order wrong: %q, %q", sum.Cells[0].Cell.Weather, sum.Cells[1].Cell.Weather)
+	}
+	sun, _ := sum.Cells[0].Metric("noon-sun")
+	darkSun, _ := sum.Cells[1].Metric("noon-sun")
+	if sun <= 5 || darkSun > 1 {
+		t.Fatalf("weather configs not applied per cell: iceland noon sun %v, dark-calm %v", sun, darkSun)
+	}
+	if !strings.Contains(sum.Cells[1].Cell.Label(), "wx=dark-calm") {
+		t.Fatalf("cell label %q does not carry the weather axis", sum.Cells[1].Cell.Label())
+	}
+	if len(sum.Groups) != 2 || sum.Groups[1].Weather != "dark-calm" {
+		t.Fatalf("groups not split by weather config: %+v", sum.Groups)
+	}
+
+	for _, c := range []struct {
+		name string
+		ws   []WeatherSpec
+		want string
+	}{
+		{"duplicate", []WeatherSpec{{Name: "x"}, {Name: "x"}}, "duplicate weather config"},
+		{"unnamed", []WeatherSpec{{}}, "needs a name"},
+	} {
+		bad := Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1}, Weathers: c.ws}
+		if _, err := Plan(bad); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s weather axis: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+// The probe-lifetime axis sets the fleet-wide mean probe lifetime per
+// cell: an hour-lived cohort must end a two-day run with fewer probes
+// alive than a decades-lived one, and the axis is duplicate- and
+// non-positive-rejected.
+func TestProbeLifetimeAxis(t *testing.T) {
+	g := Grid{
+		Scenarios:      []string{"as-deployed-2008"},
+		Seeds:          []int64{5},
+		Days:           2,
+		ProbeLifetimes: []time.Duration{time.Hour, 50 * 365 * 24 * time.Hour},
+	}
+	sum, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (one per lifetime)", len(sum.Cells))
+	}
+	short, _ := sum.Cells[0].Metric("probes-alive")
+	long, _ := sum.Cells[1].Metric("probes-alive")
+	if short >= long {
+		t.Fatalf("hour-lived cohort has %v probes alive, decades-lived %v — lifetime axis not applied", short, long)
+	}
+	if !strings.Contains(sum.Cells[0].Cell.Label(), "life=1h") {
+		t.Fatalf("cell label %q does not carry the lifetime axis", sum.Cells[0].Cell.Label())
+	}
+	if len(sum.Groups) != 2 || sum.Groups[0].ProbeLifetime != time.Hour {
+		t.Fatalf("groups not split by probe lifetime: %+v", sum.Groups)
+	}
+
+	for _, c := range []struct {
+		name  string
+		lives []time.Duration
+		want  string
+	}{
+		{"duplicate", []time.Duration{time.Hour, time.Hour}, "duplicate probe lifetime"},
+		{"non-positive", []time.Duration{-time.Hour}, "non-positive probe lifetime"},
+	} {
+		bad := Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1}, ProbeLifetimes: c.lives}
+		if _, err := Plan(bad); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s lifetime axis: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}

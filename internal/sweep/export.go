@@ -41,13 +41,24 @@ func csvFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// durationField renders an axis duration for CSV/JSON: empty when the axis
+// is not in play, else the exact time.Duration string (round-trips through
+// time.ParseDuration).
+func durationField(d time.Duration) string {
+	if d == 0 {
+		return ""
+	}
+	return d.String()
+}
+
 // WriteCellsCSV writes one flat table with a row per cell: the cell's
 // identity columns, its error if any, then one column per metric (the
 // union across all cells; a metric a cell lacks is an empty field).
 func (s *Summary) WriteCellsCSV(w io.Writer) error {
 	metrics := s.metricColumns()
 	cw := csv.NewWriter(w)
-	header := append([]string{"index", "scenario", "seed", "stations", "probes", "override", "days", "err"}, metrics...)
+	header := append([]string{"index", "scenario", "seed", "stations", "probes",
+		"weather", "probe_lifetime", "override", "days", "err"}, metrics...)
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -55,7 +66,8 @@ func (s *Summary) WriteCellsCSV(w io.Writer) error {
 		c := cr.Cell
 		row := []string{
 			strconv.Itoa(c.Index), c.Scenario, strconv.FormatInt(c.Seed, 10),
-			strconv.Itoa(c.Stations), strconv.Itoa(c.Probes), c.Override,
+			strconv.Itoa(c.Stations), strconv.Itoa(c.Probes),
+			c.Weather, durationField(c.ProbeLifetime), c.Override,
 			strconv.Itoa(c.Days), cr.Err,
 		}
 		for _, name := range metrics {
@@ -78,14 +90,15 @@ func (s *Summary) WriteCellsCSV(w io.Writer) error {
 // n/mean/stddev/min/max.
 func (s *Summary) WriteGroupsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"scenario", "stations", "probes", "override", "days",
-		"cells", "errors", "metric", "n", "mean", "stddev", "min", "max"}); err != nil {
+	if err := cw.Write([]string{"scenario", "stations", "probes", "weather", "probe_lifetime",
+		"override", "days", "cells", "errors", "metric", "n", "mean", "stddev", "min", "max"}); err != nil {
 		return err
 	}
 	for _, gr := range s.Groups {
 		for _, st := range gr.Stats {
 			row := []string{
 				gr.Scenario, strconv.Itoa(gr.Stations), strconv.Itoa(gr.Probes),
+				gr.Weather, durationField(gr.ProbeLifetime),
 				gr.Override, strconv.Itoa(gr.Days),
 				strconv.Itoa(gr.N), strconv.Itoa(gr.Errors),
 				st.Name, strconv.Itoa(st.N),
@@ -113,24 +126,30 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 	return s.WriteGroupsCSV(w)
 }
 
-// The JSON document schema. Float fields are pointers so non-finite values
-// encode as null instead of erroring encoding/json out.
+// The JSON document schema — also the shard wire format ReadSummary
+// decodes (wire.go). Float fields are pointers so non-finite values encode
+// as null instead of erroring encoding/json out; axis durations are
+// time.Duration strings so they round-trip exactly.
 type summaryJSON struct {
-	Cells  []cellJSON  `json:"cells"`
-	Groups []groupJSON `json:"groups"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	TotalCells  int         `json:"total_cells,omitempty"`
+	Cells       []cellJSON  `json:"cells"`
+	Groups      []groupJSON `json:"groups"`
 }
 
 type cellJSON struct {
-	Index    int          `json:"index"`
-	Scenario string       `json:"scenario"`
-	Seed     int64        `json:"seed"`
-	Stations int          `json:"stations,omitempty"`
-	Probes   int          `json:"probes,omitempty"`
-	Override string       `json:"override,omitempty"`
-	Days     int          `json:"days"`
-	Err      string       `json:"err,omitempty"`
-	Metrics  []metricJSON `json:"metrics,omitempty"`
-	Series   []seriesJSON `json:"series,omitempty"`
+	Index         int          `json:"index"`
+	Scenario      string       `json:"scenario"`
+	Seed          int64        `json:"seed"`
+	Stations      int          `json:"stations,omitempty"`
+	Probes        int          `json:"probes,omitempty"`
+	Weather       string       `json:"weather,omitempty"`
+	ProbeLifetime string       `json:"probe_lifetime,omitempty"`
+	Override      string       `json:"override,omitempty"`
+	Days          int          `json:"days"`
+	Err           string       `json:"err,omitempty"`
+	Metrics       []metricJSON `json:"metrics,omitempty"`
+	Series        []seriesJSON `json:"series,omitempty"`
 }
 
 type metricJSON struct {
@@ -150,14 +169,16 @@ type pointJSON struct {
 }
 
 type groupJSON struct {
-	Scenario string      `json:"scenario"`
-	Stations int         `json:"stations,omitempty"`
-	Probes   int         `json:"probes,omitempty"`
-	Override string      `json:"override,omitempty"`
-	Days     int         `json:"days"`
-	N        int         `json:"cells"`
-	Errors   int         `json:"errors,omitempty"`
-	Stats    []statsJSON `json:"stats"`
+	Scenario      string      `json:"scenario"`
+	Stations      int         `json:"stations,omitempty"`
+	Probes        int         `json:"probes,omitempty"`
+	Weather       string      `json:"weather,omitempty"`
+	ProbeLifetime string      `json:"probe_lifetime,omitempty"`
+	Override      string      `json:"override,omitempty"`
+	Days          int         `json:"days"`
+	N             int         `json:"cells"`
+	Errors        int         `json:"errors,omitempty"`
+	Stats         []statsJSON `json:"stats"`
 }
 
 type statsJSON struct {
@@ -177,21 +198,26 @@ func finite(v float64) *float64 {
 	return &v
 }
 
-// WriteJSON writes the full summary — every cell with its metrics and
-// collected series points, every group with its folded stats — as one
-// indented JSON document. Timestamps are RFC 3339 UTC; non-finite floats
-// become null.
+// WriteJSON writes the whole summary — every cell with its metrics and
+// collected series points, every group with its folded stats, plus the
+// plan fingerprint and total cell count — as one indented JSON document.
+// Timestamps are RFC 3339 UTC; non-finite floats become null. This
+// document is the shard wire format: ReadSummary decodes it losslessly, so
+// partial summaries written by one process merge in another.
 func (s *Summary) WriteJSON(w io.Writer) error {
 	doc := summaryJSON{
-		Cells:  []cellJSON{},
-		Groups: []groupJSON{},
+		Fingerprint: s.Fingerprint,
+		TotalCells:  s.TotalCells,
+		Cells:       []cellJSON{},
+		Groups:      []groupJSON{},
 	}
 	for _, cr := range s.Cells {
 		c := cr.Cell
 		cj := cellJSON{
 			Index: c.Index, Scenario: c.Scenario, Seed: c.Seed,
-			Stations: c.Stations, Probes: c.Probes, Override: c.Override,
-			Days: c.Days, Err: cr.Err,
+			Stations: c.Stations, Probes: c.Probes,
+			Weather: c.Weather, ProbeLifetime: durationField(c.ProbeLifetime),
+			Override: c.Override, Days: c.Days, Err: cr.Err,
 		}
 		for _, m := range cr.Metrics {
 			cj.Metrics = append(cj.Metrics, metricJSON{Name: m.Name, Value: finite(m.Value)})
@@ -211,6 +237,7 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 	for _, gr := range s.Groups {
 		gj := groupJSON{
 			Scenario: gr.Scenario, Stations: gr.Stations, Probes: gr.Probes,
+			Weather: gr.Weather, ProbeLifetime: durationField(gr.ProbeLifetime),
 			Override: gr.Override, Days: gr.Days, N: gr.N, Errors: gr.Errors,
 			Stats: []statsJSON{},
 		}

@@ -1,0 +1,264 @@
+// The planner: Plan validates a Grid and enumerates its cross-product into
+// the ordered cell list the rest of the pipeline works from, Shard slices a
+// plan deterministically for distributed execution, and Fingerprint hashes
+// a plan so partial summaries from different processes can prove they came
+// from the same grid before a merge.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Cell identifies one point of the grid cross-product. Index is the cell's
+// global position in the fixed enumeration order (scenario, then seed, then
+// stations, then probes, then weather, then probe lifetime, then override),
+// independent of worker count and shard split.
+type Cell struct {
+	Index    int
+	Scenario string
+	Seed     int64
+	Stations int
+	Probes   int
+	// Weather names the weather-axis value ("" = the scenario's climate).
+	Weather string
+	// ProbeLifetime is the lifetime-axis value (0 = the scenario default).
+	ProbeLifetime time.Duration
+	Override      string
+	// Days is the resolved horizon: the grid's Days if set, else the
+	// scenario's default.
+	Days int
+}
+
+// Label renders the cell for tables: scenario, seed and whichever axes
+// are in play.
+func (c Cell) Label() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s seed=%d", c.Scenario, c.Seed)
+	if c.Stations > 0 {
+		fmt.Fprintf(&b, " stations=%d", c.Stations)
+	}
+	if c.Probes > 0 {
+		fmt.Fprintf(&b, " probes=%d", c.Probes)
+	}
+	if c.Weather != "" {
+		fmt.Fprintf(&b, " wx=%s", c.Weather)
+	}
+	if c.ProbeLifetime > 0 {
+		fmt.Fprintf(&b, " life=%s", c.ProbeLifetime)
+	}
+	if c.Override != "" {
+		fmt.Fprintf(&b, " ov=%s", c.Override)
+	}
+	return b.String()
+}
+
+// Plan validates the grid and enumerates its cross-product in the fixed
+// order: scenario (outer), seed, stations, probes, weather, probe
+// lifetime, override (inner). The returned slice is the full plan; Shard
+// slices it for distributed execution.
+func Plan(g Grid) ([]Cell, error) {
+	if len(g.Scenarios) == 0 {
+		return nil, fmt.Errorf("sweep: grid has no scenarios")
+	}
+	if len(g.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: grid has no seeds")
+	}
+	if g.Days < 0 {
+		return nil, fmt.Errorf("sweep: negative horizon %d", g.Days)
+	}
+	// Every axis must be duplicate-free: a repeated scenario, seed, fleet
+	// size, cohort size, weather config or lifetime would enumerate the
+	// same configuration twice, silently inflating the group's N and
+	// skewing the stddev fold.
+	seenScen := make(map[string]bool, len(g.Scenarios))
+	for _, name := range g.Scenarios {
+		if seenScen[name] {
+			return nil, fmt.Errorf("sweep: duplicate scenario %q on the scenario axis", name)
+		}
+		seenScen[name] = true
+	}
+	seenSeed := make(map[int64]bool, len(g.Seeds))
+	for _, seed := range g.Seeds {
+		if seenSeed[seed] {
+			return nil, fmt.Errorf("sweep: duplicate seed %d on the seed axis", seed)
+		}
+		seenSeed[seed] = true
+	}
+	seenStations := make(map[int]bool, len(g.Stations))
+	for _, n := range g.Stations {
+		if seenStations[n] {
+			return nil, fmt.Errorf("sweep: duplicate fleet size %d on the stations axis", n)
+		}
+		seenStations[n] = true
+	}
+	seenProbes := make(map[int]bool, len(g.Probes))
+	for _, p := range g.Probes {
+		if seenProbes[p] {
+			return nil, fmt.Errorf("sweep: duplicate cohort size %d on the probes axis", p)
+		}
+		seenProbes[p] = true
+	}
+	seenWX := make(map[string]bool, len(g.Weathers))
+	for i, w := range g.Weathers {
+		if w.Name == "" {
+			return nil, fmt.Errorf("sweep: weather config %d needs a name", i)
+		}
+		if seenWX[w.Name] {
+			return nil, fmt.Errorf("sweep: duplicate weather config %q on the weather axis", w.Name)
+		}
+		seenWX[w.Name] = true
+	}
+	seenLife := make(map[time.Duration]bool, len(g.ProbeLifetimes))
+	for _, life := range g.ProbeLifetimes {
+		if life <= 0 {
+			return nil, fmt.Errorf("sweep: non-positive probe lifetime %s on the lifetime axis", life)
+		}
+		if seenLife[life] {
+			return nil, fmt.Errorf("sweep: duplicate probe lifetime %s on the lifetime axis", life)
+		}
+		seenLife[life] = true
+	}
+	seen := make(map[string]bool, len(g.Overrides))
+	for i, ov := range g.Overrides {
+		if ov.Name == "" {
+			return nil, fmt.Errorf("sweep: override %d needs a name", i)
+		}
+		if seen[ov.Name] {
+			return nil, fmt.Errorf("sweep: duplicate override name %q", ov.Name)
+		}
+		seen[ov.Name] = true
+	}
+	stations := g.Stations
+	if len(stations) == 0 {
+		stations = []int{0}
+	}
+	probes := g.Probes
+	if len(probes) == 0 {
+		probes = []int{0}
+	}
+	wxNames := []string{""}
+	if len(g.Weathers) > 0 {
+		wxNames = make([]string, len(g.Weathers))
+		for i, w := range g.Weathers {
+			wxNames[i] = w.Name
+		}
+	}
+	lifetimes := g.ProbeLifetimes
+	if len(lifetimes) == 0 {
+		lifetimes = []time.Duration{0}
+	}
+	ovNames := []string{""}
+	if len(g.Overrides) > 0 {
+		ovNames = make([]string, len(g.Overrides))
+		for i, ov := range g.Overrides {
+			ovNames[i] = ov.Name
+		}
+	}
+	var cells []Cell
+	for _, name := range g.Scenarios {
+		s, ok := scenario.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("sweep: scenario %q not registered (have: %v)", name, scenario.Names())
+		}
+		days := s.Horizon(scenario.Params{Days: g.Days})
+		for _, seed := range g.Seeds {
+			for _, n := range stations {
+				for _, p := range probes {
+					for _, wx := range wxNames {
+						for _, life := range lifetimes {
+							for _, ov := range ovNames {
+								cells = append(cells, Cell{
+									Index: len(cells), Scenario: name, Seed: seed,
+									Stations: n, Probes: p, Weather: wx,
+									ProbeLifetime: life, Override: ov, Days: days,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Cells is Plan as a Grid method, kept for callers of the pre-pipeline API.
+func (g Grid) Cells() ([]Cell, error) { return Plan(g) }
+
+// Shard returns shard i of m of a plan: the cells whose global index is
+// congruent to i mod m. The slice is strided rather than contiguous so that
+// expensive outer-axis values (a long-horizon scenario, a big fleet) spread
+// across shards instead of landing on one. Shards partition the plan: every
+// cell is in exactly one shard, and any m >= 1 works, including m larger
+// than the plan (some shards are then empty).
+func Shard(plan []Cell, i, m int) ([]Cell, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("sweep: shard count %d < 1", m)
+	}
+	if i < 0 || i >= m {
+		return nil, fmt.Errorf("sweep: shard index %d outside [0,%d)", i, m)
+	}
+	var cells []Cell
+	for _, c := range plan {
+		if c.Index%m == i {
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
+// ParseShardSpec parses the "i/m" shard notation the CLIs share: "" means
+// the whole grid (shard 0 of 1); anything else must be two integers with
+// 0 <= i < m.
+func ParseShardSpec(s string) (i, m int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	is, ms, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad shard %q: want i/m (e.g. 0/3)", s)
+	}
+	if i, err = strconv.Atoi(is); err != nil {
+		return 0, 0, fmt.Errorf("bad shard index in %q: %v", s, err)
+	}
+	if m, err = strconv.Atoi(ms); err != nil {
+		return 0, 0, fmt.Errorf("bad shard count in %q: %v", s, err)
+	}
+	if m < 1 {
+		return 0, 0, fmt.Errorf("bad shard %q: count must be >= 1", s)
+	}
+	if i < 0 || i >= m {
+		return 0, 0, fmt.Errorf("bad shard %q: index outside [0,%d)", s, m)
+	}
+	return i, m, nil
+}
+
+// Fingerprint returns a short stable hash of a plan — every cell's full
+// identity plus the weather axis configurations — recorded on each partial
+// summary so Merge can refuse to fold shards of different grids. It
+// identifies the declarative cell set; behavioural hooks (Override.Apply,
+// Drive, Observe, Collect) cannot be hashed, so keeping those identical
+// across shard processes is the caller's contract, exactly as it is for
+// re-running the same binary twice.
+func Fingerprint(g Grid, plan []Cell) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cells=%d days=%d\n", len(plan), g.Days)
+	for _, w := range g.Weathers {
+		fmt.Fprintf(h, "wx %q %+v\n", w.Name, w.Config)
+	}
+	// %q on the string axes: a name containing the separator must not make
+	// two different plans hash identically.
+	for _, c := range plan {
+		fmt.Fprintf(h, "%d|%q|%d|%d|%d|%q|%s|%q|%d\n",
+			c.Index, c.Scenario, c.Seed, c.Stations, c.Probes,
+			c.Weather, c.ProbeLifetime, c.Override, c.Days)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

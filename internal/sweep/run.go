@@ -1,0 +1,170 @@
+// The executor: a Runner turns planned cells into executed CellResults.
+// LocalRunner is the in-process bounded worker pool; Run and RunShard wire
+// the whole pipeline (Plan -> Runner -> Reduce) for the common cases.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/deploy"
+	"repro/internal/scenario"
+)
+
+// Runner executes planned cells. Implementations must preserve the plan's
+// determinism contract: the result for a cell depends only on the grid and
+// the cell, never on scheduling, and results are returned in plan order
+// with their global Cell.Index intact — that index is what lets Merge fold
+// shards executed anywhere back into one summary.
+type Runner interface {
+	Run(g Grid, cells []Cell) ([]CellResult, error)
+}
+
+// LocalRunner executes cells on a bounded in-process worker pool.
+type LocalRunner struct {
+	// Workers bounds the pool; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Run executes the cells concurrently. Per-cell build/run failures are
+// recorded in the cell (and later counted in its group's Errors), not
+// returned — a 10,000-cell campaign should not abort because one
+// configuration fails to build.
+func (r LocalRunner) Run(g Grid, cells []Cell) ([]CellResult, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]CellResult, len(cells))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = g.runCell(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, nil
+}
+
+// Run executes the full grid locally: Plan, LocalRunner, Reduce. workers
+// <= 0 selects GOMAXPROCS. Run errors only on an invalid grid. It is the
+// one-shard special case of RunShard, so the full-run and shard paths can
+// never drift.
+func Run(g Grid, workers int) (*Summary, error) {
+	return RunShard(g, 0, 1, workers)
+}
+
+// RunShard executes shard i of m of the grid locally and reduces it into a
+// partial Summary: only the shard's cells, with their global indices, plus
+// the full plan's fingerprint and cell count so Merge can validate and
+// recombine it. Encode it with WriteJSON — that document is the shard wire
+// format ReadSummary decodes on the other side.
+func RunShard(g Grid, i, m, workers int) (*Summary, error) {
+	plan, err := Plan(g)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := Shard(plan, i, m)
+	if err != nil {
+		return nil, err
+	}
+	results, err := LocalRunner{Workers: workers}.Run(g, cells)
+	if err != nil {
+		return nil, err
+	}
+	sum := Reduce(results)
+	sum.Fingerprint = Fingerprint(g, plan)
+	sum.TotalCells = len(plan)
+	return sum, nil
+}
+
+// runCell builds, runs and measures one independent deployment.
+func (g Grid) runCell(c Cell) CellResult {
+	cr := CellResult{Cell: c}
+	s, ok := scenario.Lookup(c.Scenario)
+	if !ok {
+		cr.Err = fmt.Sprintf("scenario %q disappeared from the registry", c.Scenario)
+		return cr
+	}
+	top := s.Topology(scenario.Params{Seed: c.Seed, Stations: c.Stations, Probes: c.Probes, Days: c.Days})
+	if c.Weather != "" {
+		found := false
+		for _, w := range g.Weathers {
+			if w.Name == c.Weather {
+				// A zero spec seed defers to the topology seed in resolve,
+				// keeping the weather axis seed-deterministic per cell.
+				top.Weather = w.Config
+				found = true
+				break
+			}
+		}
+		if !found {
+			cr.Err = fmt.Sprintf("weather config %q disappeared from the grid", c.Weather)
+			return cr
+		}
+	}
+	if c.ProbeLifetime > 0 {
+		top.ProbeLifetime = c.ProbeLifetime
+	}
+	for _, ov := range g.Overrides {
+		if ov.Name == c.Override && ov.Apply != nil {
+			ov.Apply(&top)
+		}
+	}
+	d, err := deploy.Build(top)
+	if err != nil {
+		cr.Err = err.Error()
+		return cr
+	}
+	if g.Collect != nil {
+		// Attach samplers before the run so the series cover it end to end
+		// (including the t=0 baseline trace.Sample records at attach time).
+		cr.Series = g.Collect(c, d)
+	}
+	var extra []Metric
+	if g.Drive != nil {
+		extra, err = g.Drive(c, d)
+	} else {
+		err = d.RunDays(c.Days)
+	}
+	if err != nil {
+		cr.Err = err.Error()
+		return cr
+	}
+	cr.Result = d.Result()
+	cr.Metrics = append(standardMetrics(cr.Result), extra...)
+	if g.Observe != nil {
+		cr.Metrics = append(cr.Metrics, g.Observe(c, d)...)
+	}
+	return cr
+}
+
+// standardMetrics extracts the fleet-total metrics every cell reports.
+func standardMetrics(r deploy.Result) []Metric {
+	f := r.Fleet
+	return []Metric{
+		{Name: "runs", Value: float64(f.Runs)},
+		{Name: "completed-runs", Value: float64(f.CompletedRuns)},
+		{Name: "watchdog-trips", Value: float64(f.WatchdogTrips)},
+		{Name: "comms-failures", Value: float64(f.CommsFailures)},
+		{Name: "specials", Value: float64(f.SpecialsExecuted)},
+		{Name: "recoveries", Value: float64(f.Recoveries)},
+		{Name: "probes-alive", Value: float64(f.ProbesAlive)},
+		{Name: "probe-readings", Value: float64(f.ProbeReadings)},
+		{Name: "mb-to-server", Value: float64(f.BytesToServer) / (1 << 20)},
+		{Name: "uploads", Value: float64(f.Uploads)},
+	}
+}

@@ -1,28 +1,33 @@
-// Package sweep is the parallel experiment engine: it takes a declarative
-// Grid — scenario names × seeds × optional per-axis overrides (fleet size,
-// cohort size, named topology mutations such as fault injection) — fans the
-// cross-product out over a bounded worker pool, and folds the per-cell
-// deploy.Results into a Summary with per-metric mean/stddev/min/max for
-// each configuration across its seeds.
+// Package sweep is the parallel experiment engine, structured as a
+// Plan / Execute / Reduce pipeline:
+//
+//   - Plan enumerates a declarative Grid — scenario names × seeds ×
+//     optional per-axis overrides (fleet size, cohort size, weather config,
+//     probe lifetime, named topology mutations) — into an ordered []Cell,
+//     and Shard slices that plan deterministically for distribution.
+//   - A Runner executes cells; LocalRunner is the bounded worker pool that
+//     runs them in-process. A shard run executes only its slice, recording
+//     global cell indices.
+//   - Reduce folds executed cells into a Summary with per-metric
+//     mean/stddev/min/max for each configuration across its seeds, and
+//     Summary.Merge recombines partial summaries from any number of shards
+//     into the full-grid summary, byte-identical to a single-process run.
 //
 // Every cell builds its own independent Deployment (its own Simulator,
 // weather, server and fleet), so the determinism guarantee of DESIGN.md §3
 // is untouched: a cell's trace depends only on its topology and seed, never
-// on which worker ran it or what ran beside it. Cells are enumerated in a
-// fixed order and results land in a slice indexed by cell, so Run's output
-// — including Summary.String() — is byte-identical for any worker count.
+// on which worker — or which machine — ran it or what ran beside it. Cells
+// are enumerated in a fixed order and results land by global cell index, so
+// the pipeline's output — String(), CSV and JSON alike — is byte-identical
+// for any worker count and any shard split.
 package sweep
 
 import (
-	"fmt"
-	"math"
-	"runtime"
-	"strings"
-	"sync"
+	"time"
 
 	"repro/internal/deploy"
-	"repro/internal/scenario"
 	"repro/internal/trace"
+	"repro/internal/weather"
 )
 
 // Override is one value of the grid's override axis: a named topology
@@ -37,42 +42,21 @@ type Override struct {
 	Apply func(*deploy.Topology)
 }
 
+// WeatherSpec is one value of the grid's weather axis: a named climate
+// configuration swapped into each cell it parameterises. A zero Config.Seed
+// is filled with the cell's topology seed at build time, so the per-seed
+// determinism contract holds on every axis value.
+type WeatherSpec struct {
+	// Name labels the axis value in cells and summaries.
+	Name string
+	// Config is the climate the cell runs under.
+	Config weather.Config
+}
+
 // Metric is one named per-cell measurement.
 type Metric struct {
 	Name  string
 	Value float64
-}
-
-// Cell identifies one point of the grid cross-product. Index is the cell's
-// position in the fixed enumeration order (scenario, then seed, then
-// stations, then probes, then override), independent of worker count.
-type Cell struct {
-	Index    int
-	Scenario string
-	Seed     int64
-	Stations int
-	Probes   int
-	Override string
-	// Days is the resolved horizon: the grid's Days if set, else the
-	// scenario's default.
-	Days int
-}
-
-// Label renders the cell for tables: scenario, seed and whichever axes
-// are in play.
-func (c Cell) Label() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s seed=%d", c.Scenario, c.Seed)
-	if c.Stations > 0 {
-		fmt.Fprintf(&b, " stations=%d", c.Stations)
-	}
-	if c.Probes > 0 {
-		fmt.Fprintf(&b, " probes=%d", c.Probes)
-	}
-	if c.Override != "" {
-		fmt.Fprintf(&b, " ov=%s", c.Override)
-	}
-	return b.String()
 }
 
 // Grid declares a sweep: the axes whose cross-product is the cell set,
@@ -88,6 +72,12 @@ type Grid struct {
 	// Probes is an optional per-base cohort-size axis; empty means the
 	// scenario default.
 	Probes []int
+	// Weathers is an optional axis of named climate configurations; empty
+	// means every cell runs the scenario's own climate.
+	Weathers []WeatherSpec
+	// ProbeLifetimes is an optional axis of fleet-wide mean probe
+	// lifetimes; empty means the topology (then probe) default.
+	ProbeLifetimes []time.Duration
 	// Overrides is an optional axis of named topology mutations; empty
 	// means every cell runs the unmodified topology.
 	Overrides []Override
@@ -123,407 +113,4 @@ func SeedRange(from int64, n int) []int64 {
 		seeds[i] = from + int64(i)
 	}
 	return seeds
-}
-
-// Cells validates the grid and enumerates its cross-product in the fixed
-// order: scenario (outer), seed, stations, probes, override (inner).
-func (g Grid) Cells() ([]Cell, error) {
-	if len(g.Scenarios) == 0 {
-		return nil, fmt.Errorf("sweep: grid has no scenarios")
-	}
-	if len(g.Seeds) == 0 {
-		return nil, fmt.Errorf("sweep: grid has no seeds")
-	}
-	if g.Days < 0 {
-		return nil, fmt.Errorf("sweep: negative horizon %d", g.Days)
-	}
-	// Every axis must be duplicate-free: a repeated scenario, seed, fleet
-	// size or cohort size would enumerate the same configuration twice,
-	// silently inflating the group's N and skewing the stddev fold.
-	seenScen := make(map[string]bool, len(g.Scenarios))
-	for _, name := range g.Scenarios {
-		if seenScen[name] {
-			return nil, fmt.Errorf("sweep: duplicate scenario %q on the scenario axis", name)
-		}
-		seenScen[name] = true
-	}
-	seenSeed := make(map[int64]bool, len(g.Seeds))
-	for _, seed := range g.Seeds {
-		if seenSeed[seed] {
-			return nil, fmt.Errorf("sweep: duplicate seed %d on the seed axis", seed)
-		}
-		seenSeed[seed] = true
-	}
-	seenStations := make(map[int]bool, len(g.Stations))
-	for _, n := range g.Stations {
-		if seenStations[n] {
-			return nil, fmt.Errorf("sweep: duplicate fleet size %d on the stations axis", n)
-		}
-		seenStations[n] = true
-	}
-	seenProbes := make(map[int]bool, len(g.Probes))
-	for _, p := range g.Probes {
-		if seenProbes[p] {
-			return nil, fmt.Errorf("sweep: duplicate cohort size %d on the probes axis", p)
-		}
-		seenProbes[p] = true
-	}
-	seen := make(map[string]bool, len(g.Overrides))
-	for i, ov := range g.Overrides {
-		if ov.Name == "" {
-			return nil, fmt.Errorf("sweep: override %d needs a name", i)
-		}
-		if seen[ov.Name] {
-			return nil, fmt.Errorf("sweep: duplicate override name %q", ov.Name)
-		}
-		seen[ov.Name] = true
-	}
-	stations := g.Stations
-	if len(stations) == 0 {
-		stations = []int{0}
-	}
-	probes := g.Probes
-	if len(probes) == 0 {
-		probes = []int{0}
-	}
-	ovNames := []string{""}
-	if len(g.Overrides) > 0 {
-		ovNames = make([]string, len(g.Overrides))
-		for i, ov := range g.Overrides {
-			ovNames[i] = ov.Name
-		}
-	}
-	var cells []Cell
-	for _, name := range g.Scenarios {
-		s, ok := scenario.Lookup(name)
-		if !ok {
-			return nil, fmt.Errorf("sweep: scenario %q not registered (have: %v)", name, scenario.Names())
-		}
-		days := s.Horizon(scenario.Params{Days: g.Days})
-		for _, seed := range g.Seeds {
-			for _, n := range stations {
-				for _, p := range probes {
-					for _, ov := range ovNames {
-						cells = append(cells, Cell{
-							Index: len(cells), Scenario: name, Seed: seed,
-							Stations: n, Probes: p, Override: ov, Days: days,
-						})
-					}
-				}
-			}
-		}
-	}
-	return cells, nil
-}
-
-// CellResult is one executed cell: its identity, the deployment's final
-// Result, the extracted metrics, the series the grid's Collect hook
-// captured during the run, and the build/run error if any (as a string, so
-// summaries print deterministically).
-type CellResult struct {
-	Cell    Cell
-	Result  deploy.Result
-	Metrics []Metric
-	Series  []*trace.Series
-	Err     string
-}
-
-// SeriesNamed returns the collected series with the given name.
-func (cr CellResult) SeriesNamed(name string) (*trace.Series, bool) {
-	for _, s := range cr.Series {
-		if s != nil && s.Name == name {
-			return s, true
-		}
-	}
-	return nil, false
-}
-
-// Metric returns the named per-cell metric.
-func (cr CellResult) Metric(name string) (float64, bool) {
-	for _, m := range cr.Metrics {
-		if m.Name == name {
-			return m.Value, true
-		}
-	}
-	return 0, false
-}
-
-// Stats is one metric folded across a configuration's seeds.
-type Stats struct {
-	Name                   string
-	N                      int
-	Mean, Stddev, Min, Max float64
-}
-
-// Group is one configuration of the grid — everything but the seed axis —
-// with its metrics folded across the N seeds that ran it.
-type Group struct {
-	Scenario string
-	Stations int
-	Probes   int
-	Override string
-	Days     int
-	// N counts the cells folded into Stats; Errors counts cells excluded
-	// because they failed to build or run.
-	N, Errors int
-	Stats     []Stats
-}
-
-// Label renders the configuration for tables.
-func (gr Group) Label() string {
-	var b strings.Builder
-	b.WriteString(gr.Scenario)
-	if gr.Stations > 0 {
-		fmt.Fprintf(&b, " stations=%d", gr.Stations)
-	}
-	if gr.Probes > 0 {
-		fmt.Fprintf(&b, " probes=%d", gr.Probes)
-	}
-	if gr.Override != "" {
-		fmt.Fprintf(&b, " ov=%s", gr.Override)
-	}
-	return b.String()
-}
-
-// Stat returns the group's folded stats for the named metric.
-func (gr Group) Stat(name string) (Stats, bool) {
-	for _, st := range gr.Stats {
-		if st.Name == name {
-			return st, true
-		}
-	}
-	return Stats{}, false
-}
-
-// Summary is a completed sweep: every cell in enumeration order plus the
-// per-configuration folds. Identical for any worker count.
-type Summary struct {
-	Cells  []CellResult
-	Groups []Group
-}
-
-// Run executes the grid on a bounded worker pool. workers <= 0 selects
-// GOMAXPROCS. Per-cell build/run failures are recorded in the cell (and
-// counted in its group's Errors), not returned; Run errors only on an
-// invalid grid.
-func Run(g Grid, workers int) (*Summary, error) {
-	cells, err := g.Cells()
-	if err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	results := make([]CellResult, len(cells))
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i] = g.runCell(cells[i])
-			}
-		}()
-	}
-	for i := range cells {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	return summarise(results), nil
-}
-
-// runCell builds, runs and measures one independent deployment.
-func (g Grid) runCell(c Cell) CellResult {
-	cr := CellResult{Cell: c}
-	s, ok := scenario.Lookup(c.Scenario)
-	if !ok {
-		cr.Err = fmt.Sprintf("scenario %q disappeared from the registry", c.Scenario)
-		return cr
-	}
-	top := s.Topology(scenario.Params{Seed: c.Seed, Stations: c.Stations, Probes: c.Probes, Days: c.Days})
-	for _, ov := range g.Overrides {
-		if ov.Name == c.Override && ov.Apply != nil {
-			ov.Apply(&top)
-		}
-	}
-	d, err := deploy.Build(top)
-	if err != nil {
-		cr.Err = err.Error()
-		return cr
-	}
-	if g.Collect != nil {
-		// Attach samplers before the run so the series cover it end to end
-		// (including the t=0 baseline trace.Sample records at attach time).
-		cr.Series = g.Collect(c, d)
-	}
-	var extra []Metric
-	if g.Drive != nil {
-		extra, err = g.Drive(c, d)
-	} else {
-		err = d.RunDays(c.Days)
-	}
-	if err != nil {
-		cr.Err = err.Error()
-		return cr
-	}
-	cr.Result = d.Result()
-	cr.Metrics = append(standardMetrics(cr.Result), extra...)
-	if g.Observe != nil {
-		cr.Metrics = append(cr.Metrics, g.Observe(c, d)...)
-	}
-	return cr
-}
-
-// standardMetrics extracts the fleet-total metrics every cell reports.
-func standardMetrics(r deploy.Result) []Metric {
-	f := r.Fleet
-	return []Metric{
-		{Name: "runs", Value: float64(f.Runs)},
-		{Name: "completed-runs", Value: float64(f.CompletedRuns)},
-		{Name: "watchdog-trips", Value: float64(f.WatchdogTrips)},
-		{Name: "comms-failures", Value: float64(f.CommsFailures)},
-		{Name: "specials", Value: float64(f.SpecialsExecuted)},
-		{Name: "recoveries", Value: float64(f.Recoveries)},
-		{Name: "probes-alive", Value: float64(f.ProbesAlive)},
-		{Name: "probe-readings", Value: float64(f.ProbeReadings)},
-		{Name: "mb-to-server", Value: float64(f.BytesToServer) / (1 << 20)},
-		{Name: "uploads", Value: float64(f.Uploads)},
-	}
-}
-
-// summarise folds the cells into per-configuration stats, visiting cells
-// in enumeration order so the fold is deterministic.
-func summarise(cells []CellResult) *Summary {
-	type acc struct {
-		group  Group
-		names  []string
-		values map[string][]float64
-	}
-	var order []string
-	accs := map[string]*acc{}
-	for _, cr := range cells {
-		c := cr.Cell
-		key := fmt.Sprintf("%s|%d|%d|%s|%d", c.Scenario, c.Stations, c.Probes, c.Override, c.Days)
-		a, ok := accs[key]
-		if !ok {
-			a = &acc{
-				group: Group{Scenario: c.Scenario, Stations: c.Stations,
-					Probes: c.Probes, Override: c.Override, Days: c.Days},
-				values: map[string][]float64{},
-			}
-			accs[key] = a
-			order = append(order, key)
-		}
-		if cr.Err != "" {
-			a.group.Errors++
-			continue
-		}
-		a.group.N++
-		for _, m := range cr.Metrics {
-			if _, seen := a.values[m.Name]; !seen {
-				a.names = append(a.names, m.Name)
-			}
-			a.values[m.Name] = append(a.values[m.Name], m.Value)
-		}
-	}
-	sum := &Summary{Cells: cells}
-	for _, key := range order {
-		a := accs[key]
-		for _, name := range a.names {
-			a.group.Stats = append(a.group.Stats, statsOf(name, a.values[name]))
-		}
-		sum.Groups = append(sum.Groups, a.group)
-	}
-	return sum
-}
-
-// statsOf computes mean, sample stddev, min and max of one metric's values.
-// Non-finite inputs (a NaN or ±Inf metric from a Drive/Observe hook) are
-// excluded from the fold, and an empty fold yields zero-valued stats with
-// N=0 — never the NaN mean or ±Inf min/max sentinels of a naive fold,
-// which would poison every encoder downstream.
-func statsOf(name string, vs []float64) Stats {
-	st := Stats{Name: name}
-	var total float64
-	for _, v := range vs {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			continue
-		}
-		if st.N == 0 || v < st.Min {
-			st.Min = v
-		}
-		if st.N == 0 || v > st.Max {
-			st.Max = v
-		}
-		st.N++
-		total += v
-	}
-	if st.N == 0 {
-		return st
-	}
-	st.Mean = total / float64(st.N)
-	if st.N > 1 {
-		var ss float64
-		n := 0
-		for _, v := range vs {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				continue
-			}
-			d := v - st.Mean
-			ss += d * d
-			n++
-		}
-		st.Stddev = math.Sqrt(ss / float64(n-1))
-	}
-	return st
-}
-
-// String renders the summary: one row per cell, then the per-configuration
-// folds. Deterministic for any worker count.
-func (s *Summary) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "=== sweep: %d cells, %d configurations ===\n", len(s.Cells), len(s.Groups))
-	var rows [][]string
-	var failed []CellResult
-	for _, cr := range s.Cells {
-		if cr.Err != "" {
-			// Keep the table aligned; the error text follows it in full.
-			rows = append(rows, []string{cr.Cell.Label(), fmt.Sprintf("%d", cr.Cell.Days),
-				"-", "-", "-", "-", "-"})
-			failed = append(failed, cr)
-			continue
-		}
-		cell := func(name string) string {
-			v, _ := cr.Metric(name)
-			return fmt.Sprintf("%.0f", v)
-		}
-		mb, _ := cr.Metric("mb-to-server")
-		rows = append(rows, []string{cr.Cell.Label(), fmt.Sprintf("%d", cr.Cell.Days),
-			cell("runs"), cell("completed-runs"), cell("comms-failures"),
-			cell("probe-readings"), fmt.Sprintf("%.2f", mb)})
-	}
-	b.WriteString(trace.Table([]string{"Cell", "Days", "Runs", "Completed", "CommsFail", "Readings", "MB"}, rows))
-	for _, cr := range failed {
-		fmt.Fprintf(&b, "ERROR: %s: %s\n", cr.Cell.Label(), cr.Err)
-	}
-	rows = rows[:0]
-	for _, gr := range s.Groups {
-		label := gr.Label()
-		if gr.Errors > 0 {
-			rows = append(rows, []string{label, fmt.Sprintf("(%d cells failed)", gr.Errors), "", "", "", "", ""})
-		}
-		for _, st := range gr.Stats {
-			rows = append(rows, []string{label, st.Name, fmt.Sprintf("%d", st.N),
-				fmt.Sprintf("%.2f", st.Mean), fmt.Sprintf("%.2f", st.Stddev),
-				fmt.Sprintf("%.2f", st.Min), fmt.Sprintf("%.2f", st.Max)})
-		}
-	}
-	b.WriteString("\n")
-	b.WriteString(trace.Table([]string{"Configuration", "Metric", "N", "Mean", "Stddev", "Min", "Max"}, rows))
-	return b.String()
 }

@@ -37,15 +37,18 @@ func TestCellsEnumerationOrder(t *testing.T) {
 	}
 	// Fixed order: scenario outer, then seed, then override; indices match
 	// positions.
+	cell := func(i int, scen string, seed int64, ov string) Cell {
+		return Cell{Index: i, Scenario: scen, Seed: seed, Override: ov, Days: 5}
+	}
 	want := []Cell{
-		{0, "as-deployed-2008", 1, 0, 0, "a", 5},
-		{1, "as-deployed-2008", 1, 0, 0, "b", 5},
-		{2, "as-deployed-2008", 2, 0, 0, "a", 5},
-		{3, "as-deployed-2008", 2, 0, 0, "b", 5},
-		{4, "dual-base", 1, 0, 0, "a", 5},
-		{5, "dual-base", 1, 0, 0, "b", 5},
-		{6, "dual-base", 2, 0, 0, "a", 5},
-		{7, "dual-base", 2, 0, 0, "b", 5},
+		cell(0, "as-deployed-2008", 1, "a"),
+		cell(1, "as-deployed-2008", 1, "b"),
+		cell(2, "as-deployed-2008", 2, "a"),
+		cell(3, "as-deployed-2008", 2, "b"),
+		cell(4, "dual-base", 1, "a"),
+		cell(5, "dual-base", 1, "b"),
+		cell(6, "dual-base", 2, "a"),
+		cell(7, "dual-base", 2, "b"),
 	}
 	if !reflect.DeepEqual(cells, want) {
 		t.Fatalf("cells = %v, want %v", cells, want)
@@ -252,6 +255,26 @@ func TestStatsOfGuardsNonFiniteValues(t *testing.T) {
 	all := statsOf("all-bad", []float64{math.NaN(), math.Inf(1)})
 	if all.N != 0 || all.Mean != 0 || all.Min != 0 || all.Max != 0 {
 		t.Fatalf("all-non-finite fold = %+v, want all-zero stats", all)
+	}
+}
+
+// String must render non-finite hook metrics uniformly ("-"): the wire
+// format carries both NaN and ±Inf as null, so any NaN/Inf distinction in
+// the text table would break the merged-vs-single-process byte identity.
+func TestStringRendersNonFiniteMetricsUniformly(t *testing.T) {
+	render := func(v float64) string {
+		sum := &Summary{Cells: []CellResult{{
+			Cell:    Cell{Scenario: "synthetic", Seed: 1, Days: 1},
+			Metrics: []Metric{{Name: "runs", Value: v}, {Name: "mb-to-server", Value: v}},
+		}}}
+		return sum.String()
+	}
+	nan, inf := render(math.NaN()), render(math.Inf(1))
+	if nan != inf {
+		t.Fatalf("NaN and +Inf metrics render differently:\n--- NaN\n%s\n--- +Inf\n%s", nan, inf)
+	}
+	if strings.Contains(nan, "NaN") || strings.Contains(inf, "Inf") {
+		t.Fatalf("non-finite value leaked into the table:\n%s", inf)
 	}
 }
 

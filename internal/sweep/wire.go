@@ -1,0 +1,123 @@
+// The wire format: ReadSummary decodes the JSON document WriteJSON emits
+// back into a Summary, losslessly enough that decode -> re-encode is
+// byte-identical and a decoded shard merges exactly like the in-memory
+// partial it came from. JSON nulls (the encoding of non-finite floats)
+// decode to NaN, which the reducer excludes and the encoders turn back
+// into null, closing the round trip.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ReadSummary decodes one WriteJSON document — a full summary or a shard's
+// partial summary — from r.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	var doc summaryJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("sweep: decode summary: %w", err)
+	}
+	sum := &Summary{Fingerprint: doc.Fingerprint, TotalCells: doc.TotalCells}
+	for i, cj := range doc.Cells {
+		life, err := parseLifetime(cj.ProbeLifetime)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: decode cell %d: %w", i, err)
+		}
+		cr := CellResult{
+			Cell: Cell{
+				Index: cj.Index, Scenario: cj.Scenario, Seed: cj.Seed,
+				Stations: cj.Stations, Probes: cj.Probes,
+				Weather: cj.Weather, ProbeLifetime: life,
+				Override: cj.Override, Days: cj.Days,
+			},
+			Err: cj.Err,
+		}
+		for _, mj := range cj.Metrics {
+			cr.Metrics = append(cr.Metrics, Metric{Name: mj.Name, Value: fromFinite(mj.Value)})
+		}
+		for _, sj := range cj.Series {
+			ser := trace.NewSeries(sj.Name, sj.Unit)
+			var prev time.Time
+			for k, pj := range sj.Points {
+				t, err := time.Parse(time.RFC3339, pj.T)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: decode cell %d series %q point %d: %w",
+						i, sj.Name, k, err)
+				}
+				// Series.Add panics on non-monotonic samples; a corrupted
+				// shard file must be a decode error, not a crash.
+				if k > 0 && t.Before(prev) {
+					return nil, fmt.Errorf("sweep: decode cell %d series %q point %d: timestamp %s before %s",
+						i, sj.Name, k, pj.T, prev.Format(time.RFC3339))
+				}
+				prev = t
+				ser.Add(t, fromFinite(pj.V))
+			}
+			cr.Series = append(cr.Series, ser)
+		}
+		sum.Cells = append(sum.Cells, cr)
+	}
+	for i, gj := range doc.Groups {
+		life, err := parseLifetime(gj.ProbeLifetime)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: decode group %d: %w", i, err)
+		}
+		gr := Group{
+			Scenario: gj.Scenario, Stations: gj.Stations, Probes: gj.Probes,
+			Weather: gj.Weather, ProbeLifetime: life,
+			Override: gj.Override, Days: gj.Days, N: gj.N, Errors: gj.Errors,
+		}
+		for _, st := range gj.Stats {
+			gr.Stats = append(gr.Stats, Stats{
+				Name: st.Name, N: st.N,
+				Mean: fromFinite(st.Mean), Stddev: fromFinite(st.Stddev),
+				Min: fromFinite(st.Min), Max: fromFinite(st.Max),
+			})
+		}
+		sum.Groups = append(sum.Groups, gr)
+	}
+	return sum, nil
+}
+
+// ReadSummaryFile decodes one WriteJSON document from a file.
+func ReadSummaryFile(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	sum, err := ReadSummary(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sum, nil
+}
+
+// fromFinite inverts finite: a JSON null (non-finite on the way out)
+// decodes to NaN, which every fold and encoder already guards.
+func fromFinite(v *float64) float64 {
+	if v == nil {
+		return math.NaN()
+	}
+	return *v
+}
+
+// parseLifetime inverts durationField.
+func parseLifetime(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad probe lifetime %q: %w", s, err)
+	}
+	return d, nil
+}
