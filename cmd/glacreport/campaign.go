@@ -6,71 +6,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"time"
 
-	"repro/internal/deploy"
+	"repro/internal/campaign"
+	"repro/internal/distrib"
 	"repro/internal/sweep"
-	"repro/internal/trace"
 )
-
-// A campaignEntry is one experiment of the sweep campaign: a named grid
-// whose summary lands in the artifact directory as two flat CSV tables
-// (cells, group folds) and one JSON document (full structure, including
-// any per-cell series the grid's Collect hook captured).
-type campaignEntry struct {
-	id    string
-	title string
-	// grid builds the entry's sweep grid; days <= 0 selects the entry's
-	// own default horizon.
-	grid func(seed int64, seeds, days int) sweep.Grid
-	// fixedHorizon marks entries whose custom driver runs a fixed number
-	// of days regardless of the -days flag.
-	fixedHorizon bool
-}
-
-// campaignEntries is the x-series recast as one sweep campaign: every
-// study that is a grid runs as a grid, plus the Fig 5 voltage-curve
-// capture as a Collect series so the artifacts can drive figures, not
-// just tables.
-var campaignEntries = []campaignEntry{
-	{
-		id:    "x5-sync-lag",
-		title: "§III override sync lag: change timing vs adoption delay",
-		grid: func(seed int64, seeds, days int) sweep.Grid {
-			return syncLagGrid(seed, seeds)
-		},
-		fixedHorizon: true,
-	},
-	{
-		id:    "x9-fleet-min-rule",
-		title: "§III min-rule at fleet scale: one weak battery holds 8 stations down",
-		grid: func(seed int64, seeds, days int) sweep.Grid {
-			if days <= 0 {
-				days = 14
-			}
-			return fleetMinRuleGrid(seed, seeds, days)
-		},
-	},
-	{
-		id:    "f5-voltage",
-		title: "Fig 5 battery voltage: per-cell diurnal curves with dGPS ripple",
-		grid: func(seed int64, seeds, days int) sweep.Grid {
-			if days <= 0 {
-				days = 4
-			}
-			return sweep.Grid{
-				Scenarios: []string{"as-deployed-2008"},
-				Seeds:     sweep.SeedRange(seed, seeds),
-				Days:      days,
-				Collect: func(c sweep.Cell, d *deploy.Deployment) []*trace.Series {
-					volts, _ := trace.Sample(d.Sim, 30*time.Minute, "base-volts", "V",
-						func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })
-					return []*trace.Series{volts}
-				},
-			}
-		},
-	},
-}
 
 // Manifest document written beside the per-experiment artifacts. The
 // manifest is merge-aware: a sharded campaign records which shard it is
@@ -114,11 +54,16 @@ type campaignManifestItem struct {
 // directory. A full campaign writes <id>.cells.csv, <id>.groups.csv
 // (single-width flat tables any CSV reader takes as-is) and <id>.json per
 // experiment; a sharded campaign writes only the partial <id>.json (the
-// merge wire format). Both write manifest.json. Like every sweep output,
-// the artifacts are byte-identical for any worker count, and merging
-// shard directories (mergeCampaign) reproduces the full campaign's
-// artifacts byte for byte.
-func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM int, sharded bool) error {
+// merge wire format). Both write manifest.json.
+//
+// With remote workers the grids execute on the distrib pool instead of
+// in-process, and with remote or resume the run checkpoints each chunk of
+// cells under dir/parts so an interrupted campaign restarts from where it
+// stopped (-resume). Whatever the path — local, remote, sharded+merged,
+// interrupted+resumed — the final artifacts are byte-identical, because
+// everything refolds through the same reducer.
+func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM int,
+	sharded bool, remote []string, resume bool) error {
 	if seeds < 1 {
 		return usageErrorf("-seeds must be >= 1")
 	}
@@ -133,20 +78,25 @@ func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM in
 	if sharded {
 		manifest.Shard = fmt.Sprintf("%d/%d", shardI, shardM)
 	}
-	for _, e := range campaignEntries {
-		if days > 0 && e.fixedHorizon {
-			fmt.Fprintf(os.Stderr, "glacreport %s: custom driver fixes its own horizon; -days %d ignored\n", e.id, days)
+	checkpointed := len(remote) > 0 || resume
+	for _, e := range campaign.Entries() {
+		if days > 0 && e.FixedHorizon {
+			fmt.Fprintf(os.Stderr, "glacreport %s: custom driver fixes its own horizon; -days %d ignored\n", e.ID, days)
 		}
-		g := e.grid(seed, seeds, days)
+		g := e.Grid(seed, seeds, days)
 		var sum *sweep.Summary
 		var err error
-		if sharded {
+		switch {
+		case checkpointed:
+			sum, err = distrib.RunResumable(g, e.ID, dir, campaignRunner(e.ID, workers, remote),
+				campaignChunk(remote), resume, logStderr)
+		case sharded:
 			sum, err = sweep.RunShard(g, shardI, shardM, workers)
-		} else {
+		default:
 			sum, err = sweep.Run(g, workers)
 		}
 		if err != nil {
-			return fmt.Errorf("campaign %s: %w", e.id, err)
+			return fmt.Errorf("campaign %s: %w", e.ID, err)
 		}
 		item, err := writeExperiment(dir, e, sum, sharded)
 		if err != nil {
@@ -154,7 +104,47 @@ func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM in
 		}
 		manifest.Experiments = append(manifest.Experiments, item)
 	}
-	return writeManifest(dir, manifest)
+	if err := writeManifest(dir, manifest); err != nil {
+		return err
+	}
+	// The campaign is complete and its final artifacts are on disk; the
+	// chunk checkpoints have graduated and must not be trusted by a later
+	// -resume against a different grid.
+	if checkpointed {
+		if err := distrib.RemoveParts(dir); err != nil {
+			return fmt.Errorf("remove checkpoints: %w", err)
+		}
+	}
+	return nil
+}
+
+// campaignRunner selects the execute stage for one experiment: the distrib
+// worker pool when remote workers are given (with the entry's registered
+// hook set named on every shard request), the in-process pool otherwise.
+func campaignRunner(id string, workers int, remote []string) sweep.Runner {
+	if len(remote) == 0 {
+		return sweep.LocalRunner{Workers: workers}
+	}
+	return &distrib.RemoteRunner{
+		Workers: remote,
+		Hooks:   campaign.HooksName(id),
+		Logf:    logStderr,
+	}
+}
+
+// campaignChunk sizes the checkpoint granularity: big enough to keep a
+// remote pool busy, small enough that an interruption loses little work.
+func campaignChunk(remote []string) int {
+	if n := 2 * len(remote); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// logStderr narrates distrib progress without touching the artifact
+// stream on stdout.
+func logStderr(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", a...)
 }
 
 // mergeCampaign folds shard artifact directories into the full campaign:
@@ -192,18 +182,18 @@ func mergeCampaign(dir string, shardDirs []string) error {
 		Seed:     manifests[0].Seed, Seeds: manifests[0].Seeds, Days: manifests[0].Days,
 		Experiments: []campaignManifestItem{},
 	}
-	for _, e := range campaignEntries {
+	for _, e := range campaign.Entries() {
 		parts := make([]*sweep.Summary, len(shardDirs))
 		for i, sd := range shardDirs {
-			part, err := sweep.ReadSummaryFile(filepath.Join(sd, e.id+".json"))
+			part, err := sweep.ReadSummaryFile(filepath.Join(sd, e.ID+".json"))
 			if err != nil {
-				return fmt.Errorf("campaign %s: %w", e.id, err)
+				return fmt.Errorf("campaign %s: %w", e.ID, err)
 			}
 			parts[i] = part
 		}
 		sum, err := sweep.MergeSummaries(parts...)
 		if err != nil {
-			return fmt.Errorf("campaign %s: %w", e.id, err)
+			return fmt.Errorf("campaign %s: %w", e.ID, err)
 		}
 		item, err := writeExperiment(dir, e, sum, false)
 		if err != nil {
@@ -216,42 +206,42 @@ func mergeCampaign(dir string, shardDirs []string) error {
 
 // writeExperiment writes one experiment's artifacts (partial JSON only for
 // a shard; the full CSV+JSON set otherwise) and returns its manifest item.
-func writeExperiment(dir string, e campaignEntry, sum *sweep.Summary, sharded bool) (campaignManifestItem, error) {
+func writeExperiment(dir string, e campaign.Entry, sum *sweep.Summary, sharded bool) (campaignManifestItem, error) {
 	item := campaignManifestItem{
-		ID: e.id, Title: e.title,
-		JSON:        e.id + ".json",
+		ID: e.ID, Title: e.Title,
+		JSON:        e.ID + ".json",
 		Fingerprint: sum.Fingerprint,
 		Cells:       len(sum.Cells), Groups: len(sum.Groups),
-		FixedHorizon: e.fixedHorizon,
+		FixedHorizon: e.FixedHorizon,
 	}
 	if sharded {
 		item.TotalCells = sum.TotalCells
 	} else {
-		item.CellsCSV = e.id + ".cells.csv"
-		item.GroupsCSV = e.id + ".groups.csv"
+		item.CellsCSV = e.ID + ".cells.csv"
+		item.GroupsCSV = e.ID + ".groups.csv"
 	}
 	for _, cr := range sum.Cells {
 		if cr.Err != "" {
 			item.Errors++
-			fmt.Fprintf(os.Stderr, "glacreport %s: cell %s: %s\n", e.id, cr.Cell.Label(), cr.Err)
+			fmt.Fprintf(os.Stderr, "glacreport %s: cell %s: %s\n", e.ID, cr.Cell.Label(), cr.Err)
 		}
 	}
 	if !sharded {
 		if err := writeArtifact(filepath.Join(dir, item.CellsCSV), sum.WriteCellsCSV); err != nil {
-			return item, fmt.Errorf("campaign %s: %w", e.id, err)
+			return item, fmt.Errorf("campaign %s: %w", e.ID, err)
 		}
 		if err := writeArtifact(filepath.Join(dir, item.GroupsCSV), sum.WriteGroupsCSV); err != nil {
-			return item, fmt.Errorf("campaign %s: %w", e.id, err)
+			return item, fmt.Errorf("campaign %s: %w", e.ID, err)
 		}
 	}
 	if err := writeArtifact(filepath.Join(dir, item.JSON), sum.WriteJSON); err != nil {
-		return item, fmt.Errorf("campaign %s: %w", e.id, err)
+		return item, fmt.Errorf("campaign %s: %w", e.ID, err)
 	}
 	if sharded {
-		fmt.Printf("%-18s %3d of %3d cells  -> %s\n", e.id, item.Cells, item.TotalCells, item.JSON)
+		fmt.Printf("%-18s %3d of %3d cells  -> %s\n", e.ID, item.Cells, item.TotalCells, item.JSON)
 	} else {
 		fmt.Printf("%-18s %3d cells  %2d configurations  -> %s, %s, %s\n",
-			e.id, item.Cells, item.Groups, item.CellsCSV, item.GroupsCSV, item.JSON)
+			e.ID, item.Cells, item.Groups, item.CellsCSV, item.GroupsCSV, item.JSON)
 	}
 	return item, nil
 }

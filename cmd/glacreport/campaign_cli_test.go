@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cliutil"
+)
+
+// The zero-input campaign merge must be a usage error (exit 2 with the
+// usage line), never a silently successful empty artifact set.
+func TestCampaignMergeZeroDirsIsUsageError(t *testing.T) {
+	err := mergeCampaign(t.TempDir(), nil)
+	if err == nil {
+		t.Fatal("campaign merge of zero shard directories succeeded")
+	}
+	if !cliutil.IsUsage(err) {
+		t.Fatalf("campaign merge of zero shard directories returned %v, want a usage error", err)
+	}
+}
+
+// -remote / -resume are exclusive with -shard, and campaign-only flags
+// still travel through the usage-error path.
+func TestCampaignModeFlagValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		shard  string
+		remote string
+		resume bool
+		set    map[string]bool
+	}{
+		{"shard+remote", "0/2", "h:1", false, map[string]bool{"shard": true, "remote": true}},
+		{"shard+resume", "0/2", "", true, map[string]bool{"shard": true, "resume": true}},
+		{"workers+remote", "", "h:1", false, map[string]bool{"workers": true, "remote": true}},
+		{"empty remote list", "", " , ", false, map[string]bool{"remote": true}},
+	}
+	for _, c := range cases {
+		err := runCampaignMode(t.TempDir(), 1, 1, 0, 0, c.shard, false, c.remote, c.resume, c.set, nil)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !cliutil.IsUsage(err) {
+			t.Errorf("%s: returned %v, want a usage error", c.name, err)
+		}
+	}
+}

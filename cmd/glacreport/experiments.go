@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/comms"
 	"repro/internal/core"
 	"repro/internal/deploy"
@@ -178,73 +179,14 @@ func expWatchdog(seed int64) error {
 	return nil
 }
 
-// The two timings of the §III override-sync study; label-only override
-// axis values interpreted by syncLagDrive.
-const syncBeforeWindow, syncAfterWindow = "set at 11:00 (before window)", "set at 13:00 (after window)"
-
-// syncLagDrive is the custom per-cell driver of the §III sync-lag study:
-// run five days, place a state change before (11:00) or after (13:00) the
-// midday window, then count whole days until each station adopts it.
-// Shared by the x5 experiment and the campaign runner.
-func syncLagDrive(c sweep.Cell, d *deploy.Deployment) ([]sweep.Metric, error) {
-	if err := d.RunDays(5); err != nil {
-		return nil, err
-	}
-	setHour := 11
-	if c.Override == syncAfterWindow {
-		setHour = 13
-	}
-	setAt := simenv.StartOfDay(d.Sim.Now()).Add(time.Duration(setHour) * time.Hour)
-	if err := d.Sim.Run(setAt); err != nil {
-		return nil, err
-	}
-	d.Server.SetManualOverride("base", power.State1)
-	d.Server.SetManualOverride("ref", power.State1)
-	failsBefore := d.Base.Stats().CommsFailures + d.Reference.Stats().CommsFailures
-	// Check each evening (18:00, after the midday window): day 0 means
-	// the change landed the same day it was set.
-	baseLag, refLag := -1, -1
-	for day := 0; day <= 6; day++ {
-		check := simenv.StartOfDay(setAt).Add(time.Duration(day)*24*time.Hour + 18*time.Hour)
-		if err := d.Sim.Run(check); err != nil {
-			return nil, err
-		}
-		if baseLag < 0 && d.Base.State() == power.State1 {
-			baseLag = day
-		}
-		if refLag < 0 && d.Reference.State() == power.State1 {
-			refLag = day
-		}
-		if baseLag >= 0 && refLag >= 0 {
-			break
-		}
-	}
-	failures := d.Base.Stats().CommsFailures + d.Reference.Stats().CommsFailures - failsBefore
-	return []sweep.Metric{
-		{Name: "base-lag-days", Value: float64(baseLag)},
-		{Name: "ref-lag-days", Value: float64(refLag)},
-		{Name: "failed-sessions", Value: float64(failures)},
-	}, nil
-}
-
-// syncLagGrid is the x5 grid: as-deployed pair x seeds x the two change
-// timings, driven by syncLagDrive.
-func syncLagGrid(seed int64, seeds int) sweep.Grid {
-	return sweep.Grid{
-		Scenarios: []string{"as-deployed-2008"},
-		Seeds:     sweep.SeedRange(seed, seeds),
-		Overrides: []sweep.Override{{Name: syncBeforeWindow}, {Name: syncAfterWindow}},
-		Drive:     syncLagDrive,
-	}
-}
-
 // expSyncLag measures how long a state change at Southampton takes to reach
 // the stations (§III: same-day when it lands before the window, a one-day
 // lag otherwise, plus any days lost to failed GPRS sessions). The 3-seed x
-// 2-timing grid runs on the sweep engine; the set-hour axis is a label-only
-// override the custom driver interprets.
+// 2-timing grid (internal/campaign, shared with the campaign runner and
+// the worker daemons) runs on the sweep engine; the set-hour axis is a
+// label-only override the custom driver interprets.
 func expSyncLag(seed int64) error {
-	sum, err := sweep.Run(syncLagGrid(seed, 3), 0)
+	sum, err := sweep.Run(campaign.SyncLagGrid(seed, 3), 0)
 	if err != nil {
 		return err
 	}
@@ -382,54 +324,6 @@ func expUpdate(seed int64) error {
 	return nil
 }
 
-// breakFirstBase is the x9 fault injection: the first base's chargers are
-// dead and its bank starts quarter-charged. Shared by the x9 experiment
-// and the campaign runner.
-func breakFirstBase(top *deploy.Topology) {
-	hw := core.BaseStationConfig("base-01")
-	hw.Chargers = nil
-	top.Stations[0].Hardware = &hw
-	top.Faults = append(top.Faults,
-		deploy.Fault{Station: "base-01", Kind: deploy.FaultBatterySoC, Value: 0.25})
-}
-
-// fleetHeldRows scans a fleet deployment for the min-rule signature: how
-// many station-days each station spent held below its local state by the
-// server override. Returns the healthy-station total (excluding the broken
-// base-01) plus a per-station detail table.
-func fleetHeldRows(d *deploy.Deployment) (healthyHeld int, rows [][]string) {
-	for _, st := range d.Stations {
-		held := 0
-		for _, r := range st.Reports() {
-			if r.OverrideFetched && r.Override < r.LocalState && r.Effective == r.Override {
-				held++
-			}
-		}
-		if st.Name() != "base-01" {
-			healthyHeld += held
-		}
-		rows = append(rows, []string{st.Name(), st.Role().String(),
-			fmt.Sprintf("%d", st.Stats().Runs), fmt.Sprintf("%d", held), st.State().String()})
-	}
-	return healthyHeld, rows
-}
-
-// fleetMinRuleGrid is the x9 grid: an 8-station fleet x seeds with the
-// broken-base override, observing healthy-station-days-held.
-func fleetMinRuleGrid(seed int64, seeds, days int) sweep.Grid {
-	return sweep.Grid{
-		Scenarios: []string{"fleet-N"},
-		Seeds:     sweep.SeedRange(seed, seeds),
-		Stations:  []int{8},
-		Days:      days,
-		Overrides: []sweep.Override{{Name: "base-01-dead", Apply: breakFirstBase}},
-		Observe: func(c sweep.Cell, d *deploy.Deployment) []sweep.Metric {
-			healthyHeld, _ := fleetHeldRows(d)
-			return []sweep.Metric{{Name: "healthy-station-days-held", Value: float64(healthyHeld)}}
-		},
-	}
-}
-
 // expFleet exercises the §III coordination rule at fleet scale: an
 // 8-station scenario where one base's chargers are dead. Its low daily
 // averages reach Southampton, and the min-rule holds every other station
@@ -439,9 +333,9 @@ func fleetMinRuleGrid(seed int64, seeds, days int) sweep.Grid {
 func expFleet(seed int64) error {
 	var mu sync.Mutex
 	var detail [][]string
-	g := fleetMinRuleGrid(seed, 4, 14)
+	g := campaign.FleetMinRuleGrid(seed, 4, 14)
 	g.Observe = func(c sweep.Cell, d *deploy.Deployment) []sweep.Metric {
-		healthyHeld, rows := fleetHeldRows(d)
+		healthyHeld, rows := campaign.FleetHeldRows(d)
 		if c.Seed == seed {
 			mu.Lock()
 			detail = rows

@@ -38,7 +38,7 @@ import (
 )
 
 const usageLine = "usage: glacreport [-exp IDs] | " +
-	"-campaign [-dir DIR] [-seeds N] [-days N] [-workers W] [-shard i/m] | " +
+	"-campaign [-dir DIR] [-seeds N] [-days N] [-workers W] [-shard i/m] [-remote HOST:PORT,...] [-resume] | " +
 	"-campaign -merge [-dir DIR] SHARDDIR..."
 
 // usageErrorf marks a bad flag combination: main prints the usage line
@@ -67,20 +67,23 @@ func main() {
 		workers   = flag.Int("workers", 0, "campaign: sweep worker pool size (0 = GOMAXPROCS)")
 		shard     = flag.String("shard", "", "campaign: run only shard i/m of every experiment grid and write partial artifacts")
 		mergeFlag = flag.Bool("merge", false, "campaign: merge shard artifact directories (the positional arguments) into full artifacts")
+		remote    = flag.String("remote", "", "campaign: comma-separated glacsim -worker addresses to execute the grids on")
+		resume    = flag.Bool("resume", false, "campaign: skip cells already checkpointed under -dir/parts and run only the missing slice")
 	)
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *campaign {
-		if err := runCampaignMode(*dir, *seed, *seeds, *days, *workers, *shard, *mergeFlag, set, flag.Args()); err != nil {
+		if err := runCampaignMode(*dir, *seed, *seeds, *days, *workers, *shard, *mergeFlag,
+			*remote, *resume, set, flag.Args()); err != nil {
 			fail("glacreport -campaign", err)
 		}
 		return
 	}
 	// Campaign-only flags are a misuse without -campaign — fail loudly
 	// instead of silently running the default table experiments.
-	for _, name := range []string{"dir", "seeds", "days", "workers", "shard", "merge"} {
+	for _, name := range []string{"dir", "seeds", "days", "workers", "shard", "merge", "remote", "resume"} {
 		if set[name] {
 			fail("glacreport", usageErrorf("-%s configures the sweep campaign; use it with -campaign", name))
 		}
@@ -144,9 +147,9 @@ func main() {
 }
 
 // runCampaignMode validates the campaign flag combinations and dispatches
-// to the run, shard-run or merge path.
+// to the run, shard-run, remote/resume or merge path.
 func runCampaignMode(dir string, seed int64, seeds, days, workers int,
-	shard string, merge bool, set map[string]bool, args []string) error {
+	shard string, merge bool, remote string, resume bool, set map[string]bool, args []string) error {
 	if merge {
 		if set["shard"] {
 			return usageErrorf("-shard and -merge are exclusive: shards are produced first, merged after")
@@ -162,6 +165,16 @@ func runCampaignMode(dir string, seed int64, seeds, days, workers int,
 	if len(args) > 0 {
 		return usageErrorf("unexpected arguments %q (only -merge reads shard directories)", args)
 	}
+	if set["shard"] && (set["remote"] || resume) {
+		return usageErrorf("-shard is exclusive with -remote/-resume: a remote or resumable campaign plans its own slices")
+	}
+	workerList, err := cliutil.ParseWorkerList(remote)
+	if err != nil {
+		return usageErrorf("-remote: %v", err)
+	}
+	if set["workers"] && len(workerList) > 0 {
+		return usageErrorf("-workers sizes the in-process pool; with -remote the workers size their own")
+	}
 	shardI, shardM, err := sweep.ParseShardSpec(shard)
 	if err != nil {
 		return usageErrorf("-shard: %v", err)
@@ -169,7 +182,7 @@ func runCampaignMode(dir string, seed int64, seeds, days, workers int,
 	// set["shard"] rather than shardM > 1: an explicit -shard 0/1 is still
 	// a shard campaign (partial JSON + merge-aware manifest), so scripts
 	// parameterised over the shard count work at m=1 too.
-	return runCampaign(dir, seed, seeds, days, workers, shardI, shardM, set["shard"])
+	return runCampaign(dir, seed, seeds, days, workers, shardI, shardM, set["shard"], workerList, resume)
 }
 
 func rule() string { return strings.Repeat("=", 78) }

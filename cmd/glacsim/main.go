@@ -25,18 +25,29 @@
 // summary files, validates they shard one grid (same plan fingerprint, no
 // overlap, nothing missing) and folds them into the full summary,
 // byte-identical to a single-process run in every encoding.
+//
+// The sweep also distributes live: `glacsim -worker -listen ADDR` serves
+// shards over HTTP (bounded concurrency, /healthz), and `glacsim -sweep
+// -remote host:port,host:port` executes the grid on such a pool —
+// requeueing shards from dead or failing workers — with output still
+// byte-identical to the local run. The worker registers the campaign hook
+// sets too, so `glacreport -campaign -remote` drives the same daemons.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/url"
 	"os"
 	"strings"
 	"time"
 
+	_ "repro/internal/campaign" // register the campaign hook sets in -worker binaries
 	"repro/internal/cliutil"
 	"repro/internal/deploy"
+	"repro/internal/distrib"
 	"repro/internal/scenario"
 	"repro/internal/station"
 	"repro/internal/sweep"
@@ -44,8 +55,8 @@ import (
 )
 
 const usageLine = "usage: glacsim [-scenario NAME] [-days N] [-v] | " +
-	"-sweep [-shard i/m] [-out text|csv|cells-csv|groups-csv|json] [-o FILE] | " +
-	"-merge [-out ENC] [-o FILE] FILE... | -list"
+	"-sweep [-shard i/m] [-remote HOST:PORT,...] [-out text|csv|cells-csv|groups-csv|json] [-o FILE] | " +
+	"-merge [-out ENC] [-o FILE] FILE... | -worker -listen ADDR [-max-shards N] | -list"
 
 // usageErrorf marks a bad flag combination: main prints the usage line
 // and exits 2, distinct from runtime failures.
@@ -79,6 +90,10 @@ func run() error {
 		merge    = flag.Bool("merge", false, "merge partial summary files (json shard wire format) into the full summary")
 		out      = flag.String("out", "text", "output encoding: text, csv, cells-csv, groups-csv or json")
 		outFile  = flag.String("o", "", "write the output to a file instead of stdout")
+		worker   = flag.Bool("worker", false, "serve sweep shards to remote coordinators over HTTP")
+		listen   = flag.String("listen", "", "worker: listen address (e.g. :8091 or 127.0.0.1:0)")
+		maxShard = flag.Int("max-shards", 0, "worker: concurrent shard bound (0 = 2)")
+		remote   = flag.String("remote", "", "sweep: comma-separated worker addresses to execute the grid on")
 	)
 	flag.Parse()
 	set := map[string]bool{}
@@ -111,6 +126,25 @@ func run() error {
 		return usageErrorf("unexpected arguments %q (only -merge reads files)", flag.Args())
 	}
 
+	if *worker {
+		// Allowlist: the worker daemon serves until killed; any other
+		// flag on its command line is a confused invocation.
+		if bad := flagsOutside(set, "worker", "listen", "max-shards", "workers"); len(bad) > 0 {
+			return usageErrorf("-%s does not apply to -worker", bad[0])
+		}
+		if *listen == "" {
+			return usageErrorf("-worker needs -listen ADDR")
+		}
+		return runWorker(*listen, *maxShard, *workers)
+	}
+	if set["listen"] || set["max-shards"] {
+		return usageErrorf("-listen and -max-shards configure the worker daemon; use them with -worker")
+	}
+	remoteWorkers, err := cliutil.ParseWorkerList(*remote)
+	if err != nil {
+		return usageErrorf("-remote: %v", err)
+	}
+
 	if *list {
 		// -list is its own mode: combining it with run or sweep flags
 		// (even a malformed -shard) must not be silently ignored.
@@ -131,11 +165,17 @@ func run() error {
 		return err
 	}
 	if *doSweep {
+		if set["workers"] && len(remoteWorkers) > 0 {
+			return usageErrorf("-workers sizes the in-process pool; with -remote the workers size their own")
+		}
 		return runSweep(*scen, *seed, *seeds, *workers, *days, *stations, *probes,
-			*start, *fixed, *csvPath, *verbose, shardI, shardM, set["shard"], *out, *outFile)
+			*start, *fixed, *csvPath, *verbose, shardI, shardM, set["shard"], remoteWorkers, *out, *outFile)
 	}
 	if set["shard"] {
 		return usageErrorf("-shard slices sweep grids; use it with -sweep")
+	}
+	if len(remoteWorkers) > 0 {
+		return usageErrorf("-remote dispatches sweep grids; use it with -sweep")
 	}
 	if *out != "text" || *outFile != "" {
 		return usageErrorf("-out and -o encode sweep summaries; use them with -sweep or -merge")
@@ -236,10 +276,11 @@ func flagOverride(start string, fixed bool) (func(*deploy.Topology), error) {
 // runSweep fans the scenario list x seed range out over the sweep engine —
 // the whole grid, or only shard shardI of shardM when -shard was given
 // (0/1 is still a shard run, so scripts parameterised over the shard
-// count work at m=1) — and writes the summary in the requested encoding.
+// count work at m=1) — locally or, with -remote, across a worker pool —
+// and writes the summary in the requested encoding.
 func runSweep(scen string, seed int64, seeds, workers, days, stations, probes int,
 	start string, fixed bool, csvPath string, verbose bool,
-	shardI, shardM int, sharded bool, out, outFile string) error {
+	shardI, shardM int, sharded bool, remote []string, out, outFile string) error {
 	if csvPath != "" || verbose {
 		return usageErrorf("-csv and -v apply to single runs, not -sweep")
 	}
@@ -269,7 +310,23 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 		g.Overrides = []sweep.Override{{Name: "flags", Apply: apply}}
 	}
 	var sum *sweep.Summary
-	if sharded {
+	if len(remote) > 0 {
+		runner := &distrib.RemoteRunner{
+			Workers: remote,
+			Logf:    func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		}
+		if apply != nil {
+			// The Apply closure cannot cross the wire; the workers rebuild
+			// it from the same flag values through the registered hook set.
+			runner.Hooks = "glacsim/flags"
+			runner.HookArgs = flagsHookArgs(start, fixed)
+		}
+		i, m := 0, 1
+		if sharded {
+			i, m = shardI, shardM
+		}
+		sum, err = sweep.RunShardWith(g, runner, i, m)
+	} else if sharded {
 		sum, err = sweep.RunShard(g, shardI, shardM, workers)
 	} else {
 		sum, err = sweep.Run(g, workers)
@@ -284,8 +341,71 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 	return writeSummary(sum, what, out, outFile)
 }
 
+// runWorker serves sweep shards until the process is killed.
+func runWorker(addr string, maxShards, cellWorkers int) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+	w := &distrib.Worker{
+		MaxShards:   maxShards,
+		CellWorkers: cellWorkers,
+		Logf:        func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	}
+	// The resolved address on stdout lets scripts use -listen 127.0.0.1:0
+	// and scrape the port.
+	fmt.Printf("glacsim worker listening on %s\n", l.Addr())
+	return distrib.Serve(l, w)
+}
+
+func init() {
+	distrib.RegisterHooks("glacsim/flags", flagsHooks)
+}
+
+// flagsHooks rebuilds the -start/-special-first topology override on the
+// worker side of the wire; the args string carries the flag values
+// url-encoded (flagsHookArgs).
+func flagsHooks(args string, g *sweep.Grid) error {
+	v, err := url.ParseQuery(args)
+	if err != nil {
+		return fmt.Errorf("bad flag args %q: %w", args, err)
+	}
+	apply, err := flagOverride(v.Get("start"), v.Get("special-first") == "1")
+	if err != nil {
+		return err
+	}
+	if apply == nil {
+		return fmt.Errorf("flag args %q carry no flags", args)
+	}
+	for i := range g.Overrides {
+		if g.Overrides[i].Name == "flags" {
+			g.Overrides[i].Apply = apply
+			return nil
+		}
+	}
+	return fmt.Errorf("grid has no %q override to reattach the flags to", "flags")
+}
+
+// flagsHookArgs encodes the flag values for the glacsim/flags hook set.
+func flagsHookArgs(start string, fixed bool) string {
+	v := url.Values{}
+	if start != "" {
+		v.Set("start", start)
+	}
+	if fixed {
+		v.Set("special-first", "1")
+	}
+	return v.Encode()
+}
+
 // runMerge folds partial summary files into the full-grid summary.
 func runMerge(files []string, out, outFile string) error {
+	// Belt and braces with the dispatch check in run(): zero inputs must
+	// be a usage error (exit 2 + usage line), never an "empty summary"
+	// that looks like a successful merge.
+	if len(files) == 0 {
+		return usageErrorf("-merge needs at least one partial summary file")
+	}
 	parts := make([]*sweep.Summary, len(files))
 	for i, path := range files {
 		part, err := sweep.ReadSummaryFile(path)

@@ -36,3 +36,16 @@ func TestParseShard(t *testing.T) {
 		}
 	}
 }
+
+// The zero-input merge must be a usage error (exit 2 with the usage line),
+// not a silently successful empty summary — pinned at the function level
+// so the dispatch check in run() cannot regress alone.
+func TestMergeZeroFilesIsUsageError(t *testing.T) {
+	err := runMerge(nil, "text", "")
+	if err == nil {
+		t.Fatal("merge of zero files succeeded")
+	}
+	if !cliutil.IsUsage(err) {
+		t.Fatalf("merge of zero files returned %v, want a usage error", err)
+	}
+}

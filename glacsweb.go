@@ -33,11 +33,13 @@ package repro
 
 import (
 	"io"
+	"net"
 	"time"
 
 	"repro/internal/comms"
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/distrib"
 	"repro/internal/energy"
 	"repro/internal/power"
 	"repro/internal/probe"
@@ -244,6 +246,36 @@ func MergeSummaries(parts ...*SweepSummary) (*SweepSummary, error) {
 // ReadSweepSummary decodes a summary (full or partial) from its WriteJSON
 // document — the shard wire format.
 func ReadSweepSummary(r io.Reader) (*SweepSummary, error) { return sweep.ReadSummary(r) }
+
+// Sweeps also distribute over the network (internal/distrib): a worker
+// daemon serves the Execute stage over HTTP (glacsim -worker), and a
+// SweepRemoteRunner — a SweepRunner like any other — fans planned cells
+// out across a worker pool, verifying returned plan fingerprints and
+// retrying/requeueing shards from dead or erroring workers. Plan and
+// Reduce stay in the coordinating process, so the summary is byte-identical
+// to a local run in every encoding.
+type (
+	// SweepRemoteRunner executes sweep cells on a pool of worker daemons
+	// with retry/requeue; set Workers to their addresses.
+	SweepRemoteRunner = distrib.RemoteRunner
+	// SweepWorker is the worker daemon's HTTP handler (POST /shard,
+	// GET /healthz, bounded concurrent shards).
+	SweepWorker = distrib.Worker
+)
+
+// ServeSweepWorker serves a sweep worker daemon on l until the listener
+// closes (maxShards <= 0 bounds concurrent shards at 2). The glacsim
+// -worker command is this function behind a flag.
+func ServeSweepWorker(l net.Listener, maxShards int) error {
+	return distrib.Serve(l, &distrib.Worker{MaxShards: maxShards})
+}
+
+// RunSweepOn executes the whole grid through an arbitrary SweepRunner —
+// pass a SweepLocalRunner for in-process execution or a SweepRemoteRunner
+// to distribute — and reduces it into the full summary.
+func RunSweepOn(g SweepGrid, r SweepRunner) (*SweepSummary, error) {
+	return sweep.RunShardWith(g, r, 0, 1)
+}
 
 // SeedRange returns n consecutive seeds starting at from — the usual seed
 // axis of a SweepGrid.

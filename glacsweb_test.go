@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -172,5 +173,43 @@ func TestFacadeCustomNode(t *testing.T) {
 	snap := node.Snapshot()
 	if snap.Volts < 11 || snap.Volts > 15 {
 		t.Fatalf("implausible voltage %v", snap.Volts)
+	}
+}
+
+// The networked sweep surface works end to end through the facade: a
+// worker served by ServeSweepWorker executes a grid dispatched by a
+// SweepRemoteRunner, byte-identical to the local run.
+func TestFacadeRemoteSweep(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	go func() { _ = repro.ServeSweepWorker(l, 2) }()
+
+	g := repro.SweepGrid{
+		Scenarios: []string{"as-deployed-2008"},
+		Seeds:     repro.SeedRange(9, 2),
+		Days:      2,
+	}
+	remote, err := repro.RunSweepOn(g, &repro.SweepRemoteRunner{Workers: []string{l.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := repro.RunSweep(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remote.Complete() || remote.String() != local.String() {
+		t.Fatal("remote sweep differs from the local run")
+	}
+	// The ci95 fold is visible at the facade too.
+	var st repro.SweepStats
+	var ok bool
+	if st, ok = remote.Groups[0].Stat("runs"); !ok {
+		t.Fatal("no runs stat")
+	}
+	if st.N != 2 || st.CI95 < 0 {
+		t.Fatalf("runs stat folded oddly: %+v", st)
 	}
 }

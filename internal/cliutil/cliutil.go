@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // UsageError marks a bad flag combination.
@@ -55,4 +56,24 @@ func Fail(tool, usageLine string, err error) {
 		os.Exit(2)
 	}
 	os.Exit(1)
+}
+
+// ParseWorkerList parses the -remote flag the CLIs share: a
+// comma-separated list of worker addresses ("host:port" or full URLs).
+// Empty input means no workers (nil, no error); a non-empty input that
+// yields no addresses is an error.
+func ParseWorkerList(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var workers []string
+	for _, addr := range strings.Split(s, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			workers = append(workers, addr)
+		}
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("no worker addresses in %q", s)
+	}
+	return workers, nil
 }

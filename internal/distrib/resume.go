@@ -1,0 +1,161 @@
+// Resumable campaigns: RunResumable cuts a grid into chunks, runs each
+// chunk through any sweep.Runner (local pool or RemoteRunner), and
+// checkpoints every finished chunk as a partial-summary JSON file. An
+// interrupted run leaves its finished chunks on disk; the next run with
+// resume set re-plans only the missing slice. Because the final summary is
+// MergeSummaries over the parts, a resumed campaign's artifacts are
+// byte-identical to an uninterrupted one.
+package distrib
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/sweep"
+)
+
+// PartsDirName is the checkpoint subdirectory RunResumable keeps under the
+// artifact directory; remove it (RemoveParts) once a campaign has fully
+// written its final artifacts.
+const PartsDirName = "parts"
+
+// RunResumable executes a grid with chunked checkpointing. Each chunk of
+// the plan runs through r and lands in dir/parts/<id>.part-NNNNNN.json
+// (written atomically: temp file, then rename); with resume set, parts
+// already on disk are validated against the plan fingerprint and their
+// cells are skipped. chunk <= 0 selects 8 cells per chunk. The returned
+// summary is complete and carries the plan's fingerprint.
+func RunResumable(g sweep.Grid, id, dir string, r sweep.Runner, chunk int, resume bool, logf func(format string, a ...any)) (*sweep.Summary, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	plan, err := sweep.Plan(g)
+	if err != nil {
+		return nil, err
+	}
+	fp := sweep.Fingerprint(g, plan)
+	partsDir := filepath.Join(dir, PartsDirName)
+
+	var parts []*sweep.Summary
+	covered := make(map[int]bool, len(plan))
+	matches, err := filepath.Glob(filepath.Join(partsDir, id+".part-*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("distrib: scan %s: %w", partsDir, err)
+	}
+	sort.Strings(matches)
+	if !resume {
+		// A fresh run must clear this experiment's stale checkpoints: a
+		// new run chunked differently would otherwise leave a mix of old
+		// and new parts that a later -resume rejects as overlapping.
+		for _, path := range matches {
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("distrib: clear stale checkpoint: %w", err)
+			}
+		}
+	} else {
+		for _, path := range matches {
+			part, err := sweep.ReadSummaryFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("distrib: resume: %w (delete %s to discard the checkpoint)", err, path)
+			}
+			if part.Fingerprint != fp || part.TotalCells != len(plan) {
+				return nil, fmt.Errorf("distrib: resume: %s was checkpointed from a different plan (fingerprint %s over %d cells, want %s over %d) — delete %s to start this campaign over",
+					path, part.Fingerprint, part.TotalCells, fp, len(plan), partsDir)
+			}
+			for _, cr := range part.Cells {
+				if covered[cr.Cell.Index] {
+					return nil, fmt.Errorf("distrib: resume: cell %d appears in two checkpoints under %s — delete the directory to start over",
+						cr.Cell.Index, partsDir)
+				}
+				covered[cr.Cell.Index] = true
+			}
+			parts = append(parts, part)
+		}
+		if len(parts) > 0 {
+			logf("distrib: %s: resuming — %d of %d cells already checkpointed in %d parts",
+				id, len(covered), len(plan), len(parts))
+		}
+	}
+
+	var missing []int
+	for i := range plan {
+		if !covered[i] {
+			missing = append(missing, i)
+		}
+	}
+	if chunk <= 0 {
+		chunk = 8
+	}
+	for start := 0; start < len(missing); start += chunk {
+		end := start + chunk
+		if end > len(missing) {
+			end = len(missing)
+		}
+		indices := missing[start:end]
+		cells, err := sweep.CellsAt(plan, indices)
+		if err != nil {
+			return nil, err
+		}
+		// RunPlanned hands the plan identity to the runner: the chunk
+		// loop must not make a networked runner re-enumerate and re-hash
+		// the cross-product per chunk (quadratic in plan size).
+		part, err := sweep.RunPlanned(g, r, fp, len(plan), cells)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: %s: cells %v: %w", id, indices, err)
+		}
+		if err := writePart(partsDir, fmt.Sprintf("%s.part-%06d.json", id, indices[0]), part); err != nil {
+			return nil, fmt.Errorf("distrib: %s: %w", id, err)
+		}
+		parts = append(parts, part)
+		logf("distrib: %s: checkpointed cells %v (%d of %d done)", id, indices, end, len(missing))
+	}
+	sum, err := sweep.MergeSummaries(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: %s: recombining checkpoints: %w", id, err)
+	}
+	return sum, nil
+}
+
+// RemoveParts deletes the checkpoint directory under dir — call it once
+// the final artifacts are safely written, so a later -resume does not trust
+// checkpoints that already graduated.
+func RemoveParts(dir string) error {
+	return os.RemoveAll(filepath.Join(dir, PartsDirName))
+}
+
+// writePart writes one checkpoint atomically: a temp file in the same
+// directory, synced content, then rename — a crash mid-write leaves a
+// .tmp file resume ignores, never a truncated .json it would trust.
+func writePart(dir, name string, part *sweep.Summary) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := part.WriteJSON(tmp); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	// Flush the data blocks before the rename commits the name: a power
+	// loss must leave either no checkpoint or a whole one, never a named
+	// file with truncated content that -resume would have to reject.
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package distrib
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// countingRunner wraps the local pool, counting executed cells and failing
+// every Run call after the first failAfter calls — the shape of a campaign
+// interrupted mid-flight.
+type countingRunner struct {
+	mu        sync.Mutex
+	cellsRun  int
+	calls     int
+	failAfter int // 0 = never fail
+}
+
+func (c *countingRunner) Run(g sweep.Grid, cells []sweep.Cell) ([]sweep.CellResult, error) {
+	c.mu.Lock()
+	c.calls++
+	if c.failAfter > 0 && c.calls > c.failAfter {
+		c.mu.Unlock()
+		return nil, os.ErrDeadlineExceeded
+	}
+	c.cellsRun += len(cells)
+	c.mu.Unlock()
+	return sweep.LocalRunner{Workers: 2}.Run(g, cells)
+}
+
+func TestRunResumableCompletesAndCheckpoints(t *testing.T) {
+	g := runnerGrid()
+	dir := t.TempDir()
+	r := &countingRunner{}
+	sum, err := RunResumable(g, "exp", dir, r, 2, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Complete() {
+		t.Fatal("summary incomplete")
+	}
+	single, err := sweep.Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.String() != single.String() {
+		t.Fatal("resumable run differs from the single-process run")
+	}
+	parts, err := filepath.Glob(filepath.Join(dir, PartsDirName, "exp.part-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 { // 4 cells in chunks of 2
+		t.Fatalf("found %d checkpoints, want 2: %v", len(parts), parts)
+	}
+	if err := RemoveParts(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, PartsDirName)); !os.IsNotExist(err) {
+		t.Fatal("RemoveParts left the checkpoint directory")
+	}
+}
+
+// The resume property of the acceptance criteria: an interrupted run
+// leaves its finished chunks on disk; the resumed run executes only the
+// missing cells and the final artifacts are byte-identical to an
+// uninterrupted run.
+func TestRunResumableResumesAfterInterruption(t *testing.T) {
+	g := runnerGrid()
+	dir := t.TempDir()
+	first := &countingRunner{failAfter: 1}
+	if _, err := RunResumable(g, "exp", dir, first, 2, false, nil); err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if first.cellsRun != 2 {
+		t.Fatalf("interrupted run executed %d cells, want 2", first.cellsRun)
+	}
+
+	second := &countingRunner{}
+	var log []string
+	sum, err := RunResumable(g, "exp", dir, second, 2, true,
+		func(format string, a ...any) { log = append(log, format) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.cellsRun != 2 {
+		t.Fatalf("resumed run executed %d cells, want only the 2 missing", second.cellsRun)
+	}
+	single, err := sweep.Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumedJSON, singleJSON bytes.Buffer
+	if err := sum.WriteJSON(&resumedJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.WriteJSON(&singleJSON); err != nil {
+		t.Fatal(err)
+	}
+	if sum.String() != single.String() || !bytes.Equal(resumedJSON.Bytes(), singleJSON.Bytes()) {
+		t.Fatal("resumed summary differs from the uninterrupted run")
+	}
+	resumedLogged := false
+	for _, line := range log {
+		if strings.Contains(line, "resuming") {
+			resumedLogged = true
+		}
+	}
+	if !resumedLogged {
+		t.Error("resume was silent about the checkpoints it picked up")
+	}
+}
+
+// Without the resume flag, checkpoints on disk are ignored and every cell
+// runs — a fresh campaign into a dirty directory must not silently trust
+// stale files (it overwrites them instead).
+func TestRunResumableIgnoresCheckpointsWithoutResume(t *testing.T) {
+	g := runnerGrid()
+	dir := t.TempDir()
+	first := &countingRunner{failAfter: 1}
+	if _, err := RunResumable(g, "exp", dir, first, 2, false, nil); err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	second := &countingRunner{}
+	if _, err := RunResumable(g, "exp", dir, second, 2, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if second.cellsRun != 4 {
+		t.Fatalf("fresh run executed %d cells, want all 4", second.cellsRun)
+	}
+}
+
+// A checkpoint from a different grid is a hard error pointing at the stale
+// directory, never silently folded into the wrong campaign.
+func TestRunResumableRejectsStaleCheckpoints(t *testing.T) {
+	g := runnerGrid()
+	dir := t.TempDir()
+	if _, err := RunResumable(g, "exp", dir, &countingRunner{}, 2, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	other := g
+	other.Seeds = sweep.SeedRange(900, 2) // a different plan
+	_, err := RunResumable(other, "exp", dir, &countingRunner{}, 2, true, nil)
+	if err == nil {
+		t.Fatal("checkpoints from a different plan accepted")
+	}
+	if !strings.Contains(err.Error(), "different plan") {
+		t.Errorf("error %q does not explain the fingerprint mismatch", err)
+	}
+}
+
+// Corrupt checkpoints (a truncated write from a crash that beat the
+// atomic rename would have a .tmp suffix, but a user-mangled file can be
+// anything) are descriptive errors naming the file.
+func TestRunResumableRejectsCorruptCheckpoint(t *testing.T) {
+	g := runnerGrid()
+	dir := t.TempDir()
+	partsDir := filepath.Join(dir, PartsDirName)
+	if err := os.MkdirAll(partsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(partsDir, "exp.part-000000.json")
+	if err := os.WriteFile(bad, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunResumable(g, "exp", dir, &countingRunner{}, 2, true, nil)
+	if err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the corrupt file", err)
+	}
+}
+
+// RunResumable over a RemoteRunner — the full networked campaign loop —
+// still produces byte-identical artifacts.
+func TestRunResumableOverRemoteRunner(t *testing.T) {
+	g := runnerGrid()
+	dir := t.TempDir()
+	remote := &RemoteRunner{Workers: startWorkers(t, 2)}
+	sum, err := RunResumable(g, "exp", dir, remote, 2, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := sweep.Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.String() != single.String() {
+		t.Fatal("remote resumable run differs from the single-process run")
+	}
+}
+
+// A fresh (non-resume) run clears the experiment's stale checkpoints, so
+// a later -resume never trips over overlapping parts from runs chunked
+// differently.
+func TestRunResumableFreshRunClearsStaleCheckpoints(t *testing.T) {
+	g := runnerGrid()
+	g.Seeds = sweep.SeedRange(11, 3) // 6 cells
+	dir := t.TempDir()
+	// Interrupted run, chunk 2: checkpoints cells {0,1} and {2,3}, dies
+	// before {4,5}.
+	if _, err := RunResumable(g, "exp", dir, &countingRunner{failAfter: 2}, 2, false, nil); err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	// Fresh run, chunk 4: without clearing, the stale chunk-2 parts would
+	// overlap the new chunk-4 ones.
+	if _, err := RunResumable(g, "exp", dir, &countingRunner{}, 4, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunResumable(g, "exp", dir, &countingRunner{}, 4, true, nil)
+	if err != nil {
+		t.Fatalf("resume after a fresh rerun: %v", err)
+	}
+	if !sum.Complete() {
+		t.Fatal("resumed summary incomplete")
+	}
+}

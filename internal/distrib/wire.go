@@ -1,0 +1,122 @@
+// The request side of the shard wire: a GridSpec is the declarative part
+// of a sweep.Grid — every axis, no functions — encoded so a worker process
+// can rebuild the identical plan, and a ShardRequest pairs a spec with the
+// plan fingerprint and the global cell indices to execute. The response
+// side needs no new format: it is the partial-summary WriteJSON document
+// sweep.ReadSummary already decodes.
+package distrib
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/weather"
+)
+
+// WireVersion is the shard request protocol version; a worker refuses
+// requests from a different version instead of guessing.
+const WireVersion = 1
+
+// WeatherSpecJSON is one weather-axis value on the wire. weather.Config is
+// pure data (the whole climate derives from it and a clock), so it crosses
+// as-is.
+type WeatherSpecJSON struct {
+	Name   string         `json:"name"`
+	Config weather.Config `json:"config"`
+}
+
+// GridSpec is the declarative encoding of a sweep.Grid: the axes that
+// Fingerprint hashes, with durations as strings so they round-trip exactly.
+// Overrides carry names only — Apply functions, like the Drive/Observe/
+// Collect hooks, are reattached on the worker from a registered hook set.
+type GridSpec struct {
+	Scenarios      []string          `json:"scenarios"`
+	Seeds          []int64           `json:"seeds"`
+	Stations       []int             `json:"stations,omitempty"`
+	Probes         []int             `json:"probes,omitempty"`
+	Weathers       []WeatherSpecJSON `json:"weathers,omitempty"`
+	ProbeLifetimes []string          `json:"probe_lifetimes,omitempty"`
+	Overrides      []string          `json:"overrides,omitempty"`
+	Days           int               `json:"days,omitempty"`
+}
+
+// SpecOf extracts a grid's declarative spec for the wire.
+func SpecOf(g sweep.Grid) GridSpec {
+	s := GridSpec{
+		Scenarios: g.Scenarios, Seeds: g.Seeds,
+		Stations: g.Stations, Probes: g.Probes, Days: g.Days,
+	}
+	for _, w := range g.Weathers {
+		s.Weathers = append(s.Weathers, WeatherSpecJSON{Name: w.Name, Config: w.Config})
+	}
+	for _, life := range g.ProbeLifetimes {
+		s.ProbeLifetimes = append(s.ProbeLifetimes, life.String())
+	}
+	for _, ov := range g.Overrides {
+		s.Overrides = append(s.Overrides, ov.Name)
+	}
+	return s
+}
+
+// Grid rebuilds the declarative grid a spec encodes. Override Apply
+// functions and the per-cell hooks are nil until a hook set reattaches
+// them; a grid that never had any runs as-is — exactly like a plain
+// glacsim sweep.
+func (s GridSpec) Grid() (sweep.Grid, error) {
+	g := sweep.Grid{
+		Scenarios: s.Scenarios, Seeds: s.Seeds,
+		Stations: s.Stations, Probes: s.Probes, Days: s.Days,
+	}
+	for _, w := range s.Weathers {
+		g.Weathers = append(g.Weathers, sweep.WeatherSpec{Name: w.Name, Config: w.Config})
+	}
+	for _, lifeStr := range s.ProbeLifetimes {
+		life, err := time.ParseDuration(lifeStr)
+		if err != nil {
+			return sweep.Grid{}, fmt.Errorf("distrib: bad probe lifetime %q: %w", lifeStr, err)
+		}
+		g.ProbeLifetimes = append(g.ProbeLifetimes, life)
+	}
+	for _, name := range s.Overrides {
+		g.Overrides = append(g.Overrides, sweep.Override{Name: name})
+	}
+	return g, nil
+}
+
+// ShardRequest is the body of POST /shard: run the cells at Indices of the
+// plan the grid spec enumerates. Fingerprint and TotalCells are the
+// coordinator's view of that plan; the worker recomputes both and refuses
+// the shard on any mismatch, so grid drift between binaries is an error,
+// never a silently different result.
+type ShardRequest struct {
+	V           int      `json:"v"`
+	Fingerprint string   `json:"fingerprint"`
+	TotalCells  int      `json:"total_cells"`
+	Indices     []int    `json:"indices"`
+	Grid        GridSpec `json:"grid"`
+	// Hooks names the registered hook set the worker reattaches before
+	// planning; empty for a purely declarative grid. HookArgs travels to
+	// the hook set verbatim.
+	Hooks    string `json:"hooks,omitempty"`
+	HookArgs string `json:"hook_args,omitempty"`
+}
+
+// BuildGrid rebuilds the executable grid of a request: the declarative
+// spec plus, when the request names one, the registered hook set.
+func (req ShardRequest) BuildGrid() (sweep.Grid, error) {
+	g, err := req.Grid.Grid()
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	if req.Hooks != "" {
+		h, ok := LookupHooks(req.Hooks)
+		if !ok {
+			return sweep.Grid{}, fmt.Errorf("distrib: hook set %q not registered in this binary", req.Hooks)
+		}
+		if err := h(req.HookArgs, &g); err != nil {
+			return sweep.Grid{}, fmt.Errorf("distrib: hook set %q: %w", req.Hooks, err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,244 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/sweep"
+)
+
+// testTagHooks is a registered hook set for the tests: its args carry a
+// number the attached Drive reports as the "hook-tag" metric after the
+// cell's default run.
+func testTagHooks(args string, g *sweep.Grid) error {
+	tag, err := strconv.ParseFloat(args, 64)
+	if err != nil {
+		return fmt.Errorf("bad tag %q: %w", args, err)
+	}
+	g.Drive = func(c sweep.Cell, d *deploy.Deployment) ([]sweep.Metric, error) {
+		if err := d.RunDays(c.Days); err != nil {
+			return nil, err
+		}
+		return []sweep.Metric{{Name: "hook-tag", Value: tag}}, nil
+	}
+	return nil
+}
+
+// blockGate gates the "disttest/block" hook set's Drive, so a test can
+// hold a shard in flight while probing the worker's concurrency bound. The
+// channel is swapped per test run, keeping the package stable under
+// -count=N.
+var blockGate = struct {
+	mu sync.Mutex
+	ch chan struct{}
+}{ch: make(chan struct{})}
+
+func blockChan() chan struct{} {
+	blockGate.mu.Lock()
+	defer blockGate.mu.Unlock()
+	return blockGate.ch
+}
+
+func resetBlockChan() {
+	blockGate.mu.Lock()
+	defer blockGate.mu.Unlock()
+	blockGate.ch = make(chan struct{})
+}
+
+func init() {
+	RegisterHooks("disttest/tag", testTagHooks)
+	RegisterHooks("disttest/block", func(_ string, g *sweep.Grid) error {
+		g.Drive = func(sweep.Cell, *deploy.Deployment) ([]sweep.Metric, error) {
+			<-blockChan()
+			return nil, nil
+		}
+		return nil
+	})
+}
+
+// shardRequest builds a request for the whole plan of g. An unplannable
+// grid yields a request carrying just its spec, which the worker must
+// reject with the Plan error.
+func shardRequest(t *testing.T, g sweep.Grid, hooks, hookArgs string) ShardRequest {
+	t.Helper()
+	req := ShardRequest{V: WireVersion, Grid: SpecOf(g), Hooks: hooks, HookArgs: hookArgs}
+	plan, err := sweep.Plan(g)
+	if err != nil {
+		return req
+	}
+	req.Fingerprint = sweep.Fingerprint(g, plan)
+	req.TotalCells = len(plan)
+	for i := range plan {
+		req.Indices = append(req.Indices, i)
+	}
+	return req
+}
+
+// post sends a shard request to a test server and returns the response.
+func post(t *testing.T, url string, req ShardRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/shard", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestWorkerServesShard(t *testing.T) {
+	srv := httptest.NewServer(&Worker{})
+	defer srv.Close()
+	g := sweep.Grid{Scenarios: []string{"as-deployed-2008"}, Seeds: []int64{5}, Days: 1}
+	resp := post(t, srv.URL, shardRequest(t, g, "", ""))
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	sum, err := sweep.ReadSummary(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sweep.Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.String() != local.String() {
+		t.Fatal("worker summary differs from the local run")
+	}
+}
+
+func TestWorkerHealthz(t *testing.T) {
+	srv := httptest.NewServer(&Worker{MaxShards: 5})
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.MaxShards != 5 || h.Active != 0 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestWorkerRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(&Worker{})
+	defer srv.Close()
+	g := sweep.Grid{Scenarios: []string{"as-deployed-2008"}, Seeds: []int64{5}, Days: 1}
+
+	check := func(name string, wantStatus int, wantBody string, resp *http.Response, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body := new(bytes.Buffer)
+		_, _ = body.ReadFrom(resp.Body)
+		if resp.StatusCode != wantStatus {
+			t.Errorf("%s: status %s, want %d (%s)", name, resp.Status, wantStatus, strings.TrimSpace(body.String()))
+		}
+		if wantBody != "" && !strings.Contains(body.String(), wantBody) {
+			t.Errorf("%s: body %q does not mention %q", name, strings.TrimSpace(body.String()), wantBody)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/shard")
+	check("GET /shard", http.StatusMethodNotAllowed, "POST only", resp, err)
+
+	resp, err = http.Post(srv.URL+"/healthz", "application/json", strings.NewReader("{}"))
+	check("POST /healthz", http.StatusMethodNotAllowed, "GET only", resp, err)
+
+	resp, err = http.Get(srv.URL + "/no-such-route")
+	check("unknown route", http.StatusNotFound, "", resp, err)
+
+	resp, err = http.Post(srv.URL+"/shard", "application/json", strings.NewReader("{not json"))
+	check("malformed body", http.StatusBadRequest, "bad shard request", resp, err)
+
+	old := shardRequest(t, g, "", "")
+	old.V = 99
+	check("wrong version", http.StatusBadRequest, "version 99", post(t, srv.URL, old), nil)
+
+	unknown := shardRequest(t, g, "no-such-hooks", "")
+	check("unknown hook set", http.StatusBadRequest, "not registered", post(t, srv.URL, unknown), nil)
+
+	drifted := shardRequest(t, g, "", "")
+	drifted.Fingerprint = "feedfacefeedface"
+	check("fingerprint drift", http.StatusConflict, "plan mismatch", post(t, srv.URL, drifted), nil)
+
+	outOfRange := shardRequest(t, g, "", "")
+	outOfRange.Indices = []int{0, 999}
+	check("index out of range", http.StatusBadRequest, "outside", post(t, srv.URL, outOfRange), nil)
+
+	empty := shardRequest(t, sweep.Grid{}, "", "")
+	check("invalid grid", http.StatusBadRequest, "no scenarios", post(t, srv.URL, empty), nil)
+}
+
+// The concurrency bound: with MaxShards 1 and a shard held in flight by
+// the blocking hook set, the next request gets 503 + Retry-After instead
+// of piling up.
+func TestWorkerBoundsConcurrentShards(t *testing.T) {
+	resetBlockChan()
+	srv := httptest.NewServer(&Worker{MaxShards: 1})
+	defer srv.Close()
+	g := sweep.Grid{Scenarios: []string{"as-deployed-2008"}, Seeds: []int64{5}, Days: 1}
+	req := shardRequest(t, g, "disttest/block", "")
+
+	firstDone := make(chan *http.Response)
+	go func() { firstDone <- post(t, srv.URL, req) }()
+
+	// Wait until the worker reports the first shard in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h Health
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Active == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first shard never went in flight")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	second := post(t, srv.URL, req)
+	if second.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second shard got %s, want 503", second.Status)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	_ = second.Body.Close()
+
+	close(blockChan())
+	first := <-firstDone
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first shard got %s after release", first.Status)
+	}
+	_ = first.Body.Close()
+}

@@ -91,7 +91,7 @@ func (s *Summary) WriteCellsCSV(w io.Writer) error {
 func (s *Summary) WriteGroupsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"scenario", "stations", "probes", "weather", "probe_lifetime",
-		"override", "days", "cells", "errors", "metric", "n", "mean", "stddev", "min", "max"}); err != nil {
+		"override", "days", "cells", "errors", "metric", "n", "mean", "stddev", "ci95", "min", "max"}); err != nil {
 		return err
 	}
 	for _, gr := range s.Groups {
@@ -102,7 +102,8 @@ func (s *Summary) WriteGroupsCSV(w io.Writer) error {
 				gr.Override, strconv.Itoa(gr.Days),
 				strconv.Itoa(gr.N), strconv.Itoa(gr.Errors),
 				st.Name, strconv.Itoa(st.N),
-				csvFloat(st.Mean), csvFloat(st.Stddev), csvFloat(st.Min), csvFloat(st.Max),
+				csvFloat(st.Mean), csvFloat(st.Stddev), csvFloat(st.CI95),
+				csvFloat(st.Min), csvFloat(st.Max),
 			}
 			if err := cw.Write(row); err != nil {
 				return err
@@ -186,6 +187,7 @@ type statsJSON struct {
 	N      int      `json:"n"`
 	Mean   *float64 `json:"mean"`
 	Stddev *float64 `json:"stddev"`
+	CI95   *float64 `json:"ci95"`
 	Min    *float64 `json:"min"`
 	Max    *float64 `json:"max"`
 }
@@ -244,7 +246,7 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 		for _, st := range gr.Stats {
 			gj.Stats = append(gj.Stats, statsJSON{
 				Name: st.Name, N: st.N,
-				Mean: finite(st.Mean), Stddev: finite(st.Stddev),
+				Mean: finite(st.Mean), Stddev: finite(st.Stddev), CI95: finite(st.CI95),
 				Min: finite(st.Min), Max: finite(st.Max),
 			})
 		}

@@ -287,3 +287,69 @@ func TestWireRoundTripByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+func TestCellsAt(t *testing.T) {
+	plan, err := Plan(mergeGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := CellsAt(plan, []int{5, 0, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 || cells[0].Index != 5 || cells[1].Index != 0 || cells[2].Index != 11 {
+		t.Fatalf("CellsAt returned %v", cells)
+	}
+	if _, err := CellsAt(plan, []int{0, len(plan)}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := CellsAt(plan, []int{-1}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := CellsAt(plan, []int{3, 3}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+// RunIndices of complementary slices must merge back into the
+// single-process summary byte for byte — the resume path's core property.
+func TestRunIndicesMergesByteIdentical(t *testing.T) {
+	g := mergeGrid()
+	plan, err := Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunIndices(g, []int{0, 2, 4, 6, 8, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Complete() {
+		t.Fatal("half the plan reported complete")
+	}
+	var rest []int
+	for i := 1; i < len(plan); i += 2 {
+		rest = append(rest, i)
+	}
+	second, err := RunIndices(g, rest, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSummaries(first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mergedJSON, singleJSON bytes.Buffer
+	if err := merged.WriteJSON(&mergedJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.WriteJSON(&singleJSON); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != single.String() || !bytes.Equal(mergedJSON.Bytes(), singleJSON.Bytes()) {
+		t.Error("RunIndices halves did not merge byte-identical to the single-process run")
+	}
+}

@@ -214,6 +214,26 @@ func Shard(plan []Cell, i, m int) ([]Cell, error) {
 	return cells, nil
 }
 
+// CellsAt selects the plan cells at the given global indices, in the given
+// order. Out-of-range and duplicate indices are descriptive errors — a
+// shard request naming a cell twice or beyond the plan is a protocol bug,
+// never something to paper over.
+func CellsAt(plan []Cell, indices []int) ([]Cell, error) {
+	cells := make([]Cell, 0, len(indices))
+	seen := make(map[int]bool, len(indices))
+	for _, idx := range indices {
+		if idx < 0 || idx >= len(plan) {
+			return nil, fmt.Errorf("sweep: cell index %d outside the %d-cell plan", idx, len(plan))
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("sweep: cell index %d requested twice", idx)
+		}
+		seen[idx] = true
+		cells = append(cells, plan[idx])
+	}
+	return cells, nil
+}
+
 // ParseShardSpec parses the "i/m" shard notation the CLIs share: "" means
 // the whole grid (shard 0 of 1); anything else must be two integers with
 // 0 <= i < m.

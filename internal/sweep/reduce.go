@@ -49,11 +49,15 @@ func (cr CellResult) Metric(name string) (float64, bool) {
 	return 0, false
 }
 
-// Stats is one metric folded across a configuration's seeds.
+// Stats is one metric folded across a configuration's seeds. CI95 is the
+// half-width of the 95% confidence interval of the mean (Student t), the
+// quantity a sequential-seeding loop watches: stop adding seeds once
+// CI95 is tight enough. It is 0 whenever fewer than two finite values
+// were folded.
 type Stats struct {
-	Name                   string
-	N                      int
-	Mean, Stddev, Min, Max float64
+	Name                         string
+	N                            int
+	Mean, Stddev, CI95, Min, Max float64
 }
 
 // Group is one configuration of the grid — everything but the seed axis —
@@ -217,8 +221,43 @@ func statsOf(name string, vs []float64) Stats {
 			n++
 		}
 		st.Stddev = math.Sqrt(ss / float64(n-1))
+		st.CI95 = tCrit95(st.N-1) * st.Stddev / math.Sqrt(float64(st.N))
 	}
 	return st
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for 1-30 degrees
+// of freedom; beyond 30 tCrit95 interpolates towards the normal 1.96.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom: the exact table up to df=30, then linear interpolation in
+// 1/df between the standard anchors (40, 60, 120, ∞) — deterministic and
+// accurate to ~1e-3, which is all a stopping heuristic needs.
+func tCrit95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	anchors := []struct {
+		inv float64 // 1/df, with 0 standing for the normal limit
+		t   float64
+	}{{1.0 / 30, 2.042}, {1.0 / 40, 2.021}, {1.0 / 60, 2.000}, {1.0 / 120, 1.980}, {0, 1.960}}
+	inv := 1 / float64(df)
+	for i := 0; i+1 < len(anchors); i++ {
+		lo, hi := anchors[i], anchors[i+1]
+		if inv >= hi.inv {
+			frac := (lo.inv - inv) / (lo.inv - hi.inv)
+			return lo.t + frac*(hi.t-lo.t)
+		}
+	}
+	return 1.960
 }
 
 // String renders the summary: one row per cell, then the per-configuration
@@ -264,10 +303,11 @@ func (s *Summary) String() string {
 		for _, st := range gr.Stats {
 			rows = append(rows, []string{label, st.Name, fmt.Sprintf("%d", st.N),
 				fmt.Sprintf("%.2f", st.Mean), fmt.Sprintf("%.2f", st.Stddev),
+				fmt.Sprintf("%.2f", st.CI95),
 				fmt.Sprintf("%.2f", st.Min), fmt.Sprintf("%.2f", st.Max)})
 		}
 	}
 	b.WriteString("\n")
-	b.WriteString(trace.Table([]string{"Configuration", "Metric", "N", "Mean", "Stddev", "Min", "Max"}, rows))
+	b.WriteString(trace.Table([]string{"Configuration", "Metric", "N", "Mean", "Stddev", "CI95", "Min", "Max"}, rows))
 	return b.String()
 }

@@ -73,6 +73,13 @@ func Run(g Grid, workers int) (*Summary, error) {
 // recombine it. Encode it with WriteJSON — that document is the shard wire
 // format ReadSummary decodes on the other side.
 func RunShard(g Grid, i, m, workers int) (*Summary, error) {
+	return RunShardWith(g, LocalRunner{Workers: workers}, i, m)
+}
+
+// RunShardWith is RunShard on an arbitrary Runner — the seam a networked
+// runner plugs into: Plan and Reduce stay in this process, only Execute
+// crosses to r (which may fan the cells out over remote workers).
+func RunShardWith(g Grid, r Runner, i, m int) (*Summary, error) {
 	plan, err := Plan(g)
 	if err != nil {
 		return nil, err
@@ -81,13 +88,56 @@ func RunShard(g Grid, i, m, workers int) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := LocalRunner{Workers: workers}.Run(g, cells)
+	return RunPlanned(g, r, Fingerprint(g, plan), len(plan), cells)
+}
+
+// RunIndices executes the cells at the given global plan indices locally
+// and reduces them into a partial Summary — the arbitrary-slice sibling of
+// RunShard that a worker daemon or a resumed campaign (which needs exactly
+// the missing cells, rarely an i/m shard) runs. Indices must be in-range
+// and duplicate-free.
+func RunIndices(g Grid, indices []int, workers int) (*Summary, error) {
+	plan, err := Plan(g)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := CellsAt(plan, indices)
+	if err != nil {
+		return nil, err
+	}
+	return RunPlanned(g, LocalRunner{Workers: workers}, Fingerprint(g, plan), len(plan), cells)
+}
+
+// PlannedRunner is the optional fast path of a Runner whose own execution
+// needs the plan identity (a networked runner stamps it on every shard
+// request): callers that already planned hand it over instead of making
+// the runner re-enumerate and re-hash the cross-product.
+type PlannedRunner interface {
+	Runner
+	RunPlanned(g Grid, fingerprint string, totalCells int, cells []Cell) ([]CellResult, error)
+}
+
+// RunPlanned executes already-planned cells through r and reduces them
+// into a Summary stamped with the plan's identity — the shared tail of
+// every run entry point, and the seam for callers that have planned (and
+// fingerprinted) once and must not pay for it again per shard: a worker
+// daemon serving thousands of requests, a resumed campaign iterating
+// chunks. A PlannedRunner receives the plan identity instead of
+// recomputing it.
+func RunPlanned(g Grid, r Runner, fingerprint string, totalCells int, cells []Cell) (*Summary, error) {
+	var results []CellResult
+	var err error
+	if pr, ok := r.(PlannedRunner); ok {
+		results, err = pr.RunPlanned(g, fingerprint, totalCells, cells)
+	} else {
+		results, err = r.Run(g, cells)
+	}
 	if err != nil {
 		return nil, err
 	}
 	sum := Reduce(results)
-	sum.Fingerprint = Fingerprint(g, plan)
-	sum.TotalCells = len(plan)
+	sum.Fingerprint = fingerprint
+	sum.TotalCells = totalCells
 	return sum, nil
 }
 

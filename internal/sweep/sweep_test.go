@@ -300,3 +300,60 @@ func TestGroupsSplitByConfigurationNotSeed(t *testing.T) {
 		t.Fatalf("group order wrong: %+v", sum.Groups)
 	}
 }
+
+func TestStatsCI95(t *testing.T) {
+	// Five values with mean 3 and sample stddev sqrt(2.5): the df=4
+	// critical value 2.776 gives a hand-checkable half-width.
+	st := statsOf("m", []float64{1, 2, 3, 4, 5})
+	wantStddev := math.Sqrt(2.5)
+	want := 2.776 * wantStddev / math.Sqrt(5)
+	if math.Abs(st.CI95-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", st.CI95, want)
+	}
+	// Fewer than two finite values: no interval.
+	if st := statsOf("m", []float64{7}); st.CI95 != 0 {
+		t.Errorf("single-value CI95 = %v, want 0", st.CI95)
+	}
+	if st := statsOf("m", []float64{7, math.NaN()}); st.CI95 != 0 {
+		t.Errorf("one-finite-value CI95 = %v, want 0", st.CI95)
+	}
+	// Non-finite values are excluded from the fold, not from the df.
+	clean := statsOf("m", []float64{1, 2, 3})
+	noisy := statsOf("m", []float64{1, math.Inf(1), 2, 3, math.NaN()})
+	if clean.CI95 != noisy.CI95 {
+		t.Errorf("non-finite values changed CI95: %v vs %v", noisy.CI95, clean.CI95)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+		tol  float64
+	}{
+		{1, 12.706, 0},      // exact table
+		{30, 2.042, 0},      // last table entry
+		{40, 2.021, 1e-9},   // anchor
+		{120, 1.980, 1e-9},  // anchor
+		{48, 2.011, 0.002},  // interpolated between 40 and 60
+		{1000, 1.962, 0.01}, // approaching the normal limit
+	}
+	for _, c := range cases {
+		if got := tCrit95(c.df); math.Abs(got-c.want) > c.tol {
+			t.Errorf("tCrit95(%d) = %v, want %v ± %v", c.df, got, c.want, c.tol)
+		}
+	}
+	if tCrit95(0) != 0 || tCrit95(-3) != 0 {
+		t.Error("tCrit95 of non-positive df should be 0")
+	}
+	// Monotone decreasing towards 1.96: the interpolation must never
+	// cross an anchor in the wrong direction.
+	prev := tCrit95(1)
+	for df := 2; df <= 200; df++ {
+		got := tCrit95(df)
+		if got > prev || got < 1.96 {
+			t.Fatalf("tCrit95(%d) = %v not monotone in (1.96, %v]", df, got, prev)
+		}
+		prev = got
+	}
+}

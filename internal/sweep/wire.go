@@ -79,7 +79,8 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 			gr.Stats = append(gr.Stats, Stats{
 				Name: st.Name, N: st.N,
 				Mean: fromFinite(st.Mean), Stddev: fromFinite(st.Stddev),
-				Min: fromFinite(st.Min), Max: fromFinite(st.Max),
+				CI95: fromFinite(st.CI95),
+				Min:  fromFinite(st.Min), Max: fromFinite(st.Max),
 			})
 		}
 		sum.Groups = append(sum.Groups, gr)
