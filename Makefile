@@ -1,0 +1,27 @@
+# Developer entry points. `make bench` is the perf trajectory: it runs the
+# two headline benchmarks (whole fleet day, sweep engine scaling) under
+# -benchmem and records ns/op, B/op and allocs/op as BENCH_$(BENCH_N).json
+# via tools/benchjson. Bump BENCH_N once per PR so the series of committed
+# files shows how the numbers move as the codebase grows.
+
+BENCH_N ?= 6
+BENCH_PATTERN ?= BenchmarkFleetDay|BenchmarkSweep
+
+.PHONY: all build test vet bench
+
+all: build vet test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+bench:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	go run ./tools/benchjson < bench.out > BENCH_$(BENCH_N).json
+	@rm -f bench.out
+	@cat BENCH_$(BENCH_N).json

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/distrib"
+	"repro/internal/rescache"
 	"repro/internal/sweep"
 )
 
@@ -25,6 +26,18 @@ type campaignManifest struct {
 	// Shard is "i/m" for a partial campaign, empty for a full one.
 	Shard       string                 `json:"shard,omitempty"`
 	Experiments []campaignManifestItem `json:"experiments"`
+	// Cache records the result cache the campaign consulted and its
+	// counters across every experiment — a fully warm campaign shows
+	// misses 0 and hits equal to the cell total. Absent when the campaign
+	// ran uncached, so cached and uncached manifests of one campaign
+	// differ only here.
+	Cache *cacheManifest `json:"cache,omitempty"`
+}
+
+// cacheManifest is the manifest's account of the result cache run.
+type cacheManifest struct {
+	Dir string `json:"dir"`
+	rescache.Stats
 }
 
 type campaignManifestItem struct {
@@ -63,7 +76,7 @@ type campaignManifestItem struct {
 // interrupted+resumed — the final artifacts are byte-identical, because
 // everything refolds through the same reducer.
 func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM int,
-	sharded bool, remote []string, resume bool) error {
+	sharded bool, remote []string, resume bool, cache *rescache.DiskCache) error {
 	if seeds < 1 {
 		return usageErrorf("-seeds must be >= 1")
 	}
@@ -88,12 +101,12 @@ func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM in
 		var err error
 		switch {
 		case checkpointed:
-			sum, err = distrib.RunResumable(g, e.ID, dir, campaignRunner(e.ID, workers, remote),
+			sum, err = distrib.RunResumable(g, e.ID, dir, campaignRunner(e.ID, workers, remote, cache),
 				campaignChunk(remote), resume, logStderr)
 		case sharded:
-			sum, err = sweep.RunShard(g, shardI, shardM, workers)
+			sum, err = sweep.RunShardWith(g, campaignRunner(e.ID, workers, nil, cache), shardI, shardM)
 		default:
-			sum, err = sweep.Run(g, workers)
+			sum, err = sweep.RunShardWith(g, campaignRunner(e.ID, workers, nil, cache), 0, 1)
 		}
 		if err != nil {
 			return fmt.Errorf("campaign %s: %w", e.ID, err)
@@ -103,6 +116,12 @@ func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM in
 			return err
 		}
 		manifest.Experiments = append(manifest.Experiments, item)
+	}
+	if cache != nil {
+		st := cache.Stats()
+		manifest.Cache = &cacheManifest{Dir: cache.Dir(), Stats: st}
+		logStderr("cache %s: %d hits, %d misses, %d stores, %d evictions (%d entries, %d bytes)",
+			cache.Dir(), st.Hits, st.Misses, st.Stores, st.Evictions, cache.Len(), cache.SizeBytes())
 	}
 	if err := writeManifest(dir, manifest); err != nil {
 		return err
@@ -120,10 +139,17 @@ func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM in
 
 // campaignRunner selects the execute stage for one experiment: the distrib
 // worker pool when remote workers are given (with the entry's registered
-// hook set named on every shard request), the in-process pool otherwise.
-func campaignRunner(id string, workers int, remote []string) sweep.Runner {
+// hook set named on every shard request), the in-process pool — consulting
+// the result cache, when one is open — otherwise.
+func campaignRunner(id string, workers int, remote []string, cache *rescache.DiskCache) sweep.Runner {
 	if len(remote) == 0 {
-		return sweep.LocalRunner{Workers: workers}
+		lr := sweep.LocalRunner{Workers: workers}
+		if cache != nil {
+			// Guarded so a disabled cache stays a nil interface, not a
+			// typed-nil *DiskCache the runner would call.
+			lr.Cache = cache
+		}
+		return lr
 	}
 	return &distrib.RemoteRunner{
 		Workers: remote,

@@ -22,19 +22,24 @@ func TestCampaignMergeZeroDirsIsUsageError(t *testing.T) {
 // still travel through the usage-error path.
 func TestCampaignModeFlagValidation(t *testing.T) {
 	cases := []struct {
-		name   string
-		shard  string
-		remote string
-		resume bool
-		set    map[string]bool
+		name    string
+		shard   string
+		remote  string
+		resume  bool
+		cache   string
+		noCache bool
+		set     map[string]bool
 	}{
-		{"shard+remote", "0/2", "h:1", false, map[string]bool{"shard": true, "remote": true}},
-		{"shard+resume", "0/2", "", true, map[string]bool{"shard": true, "resume": true}},
-		{"workers+remote", "", "h:1", false, map[string]bool{"workers": true, "remote": true}},
-		{"empty remote list", "", " , ", false, map[string]bool{"remote": true}},
+		{"shard+remote", "0/2", "h:1", false, "", false, map[string]bool{"shard": true, "remote": true}},
+		{"shard+resume", "0/2", "", true, "", false, map[string]bool{"shard": true, "resume": true}},
+		{"workers+remote", "", "h:1", false, "", false, map[string]bool{"workers": true, "remote": true}},
+		{"empty remote list", "", " , ", false, "", false, map[string]bool{"remote": true}},
+		{"duplicate workers", "", "h:1,h:1/", false, "", false, map[string]bool{"remote": true}},
+		{"cache+remote", "", "h:1", false, "/tmp/c", false, map[string]bool{"cache": true, "remote": true}},
+		{"cache+no-cache", "", "", false, "/tmp/c", true, map[string]bool{"cache": true, "no-cache": true}},
 	}
 	for _, c := range cases {
-		err := runCampaignMode(t.TempDir(), 1, 1, 0, 0, c.shard, false, c.remote, c.resume, c.set, nil)
+		err := runCampaignMode(t.TempDir(), 1, 1, 0, 0, c.shard, false, c.remote, c.resume, c.cache, c.noCache, 0, c.set, nil)
 		if err == nil {
 			t.Errorf("%s: accepted", c.name)
 			continue

@@ -34,11 +34,12 @@ import (
 	"strings"
 
 	"repro/internal/cliutil"
+	"repro/internal/rescache"
 	"repro/internal/sweep"
 )
 
 const usageLine = "usage: glacreport [-exp IDs] | " +
-	"-campaign [-dir DIR] [-seeds N] [-days N] [-workers W] [-shard i/m] [-remote HOST:PORT,...] [-resume] | " +
+	"-campaign [-dir DIR] [-seeds N] [-days N] [-workers W] [-shard i/m] [-remote HOST:PORT,...] [-resume] [-cache DIR|-no-cache] | " +
 	"-campaign -merge [-dir DIR] SHARDDIR..."
 
 // usageErrorf marks a bad flag combination: main prints the usage line
@@ -69,6 +70,9 @@ func main() {
 		mergeFlag = flag.Bool("merge", false, "campaign: merge shard artifact directories (the positional arguments) into full artifacts")
 		remote    = flag.String("remote", "", "campaign: comma-separated glacsim -worker addresses to execute the grids on")
 		resume    = flag.Bool("resume", false, "campaign: skip cells already checkpointed under -dir/parts and run only the missing slice")
+		cacheDir  = flag.String("cache", "", "campaign: result cache directory (default $"+cliutil.CacheEnv+"): serve already-simulated cells from disk")
+		noCache   = flag.Bool("no-cache", false, "campaign: ignore $"+cliutil.CacheEnv+" and simulate every cell")
+		cacheMB   = flag.Int("cache-max-mb", 0, "campaign: result cache size bound in MiB, LRU-evicted (0 = unbounded)")
 	)
 	flag.Parse()
 	set := map[string]bool{}
@@ -76,14 +80,15 @@ func main() {
 
 	if *campaign {
 		if err := runCampaignMode(*dir, *seed, *seeds, *days, *workers, *shard, *mergeFlag,
-			*remote, *resume, set, flag.Args()); err != nil {
+			*remote, *resume, *cacheDir, *noCache, *cacheMB, set, flag.Args()); err != nil {
 			fail("glacreport -campaign", err)
 		}
 		return
 	}
 	// Campaign-only flags are a misuse without -campaign — fail loudly
 	// instead of silently running the default table experiments.
-	for _, name := range []string{"dir", "seeds", "days", "workers", "shard", "merge", "remote", "resume"} {
+	for _, name := range []string{"dir", "seeds", "days", "workers", "shard", "merge", "remote", "resume",
+		"cache", "no-cache", "cache-max-mb"} {
 		if set[name] {
 			fail("glacreport", usageErrorf("-%s configures the sweep campaign; use it with -campaign", name))
 		}
@@ -149,7 +154,8 @@ func main() {
 // runCampaignMode validates the campaign flag combinations and dispatches
 // to the run, shard-run, remote/resume or merge path.
 func runCampaignMode(dir string, seed int64, seeds, days, workers int,
-	shard string, merge bool, remote string, resume bool, set map[string]bool, args []string) error {
+	shard string, merge bool, remote string, resume bool,
+	cacheDir string, noCache bool, cacheMB int, set map[string]bool, args []string) error {
 	if merge {
 		if set["shard"] {
 			return usageErrorf("-shard and -merge are exclusive: shards are produced first, merged after")
@@ -179,10 +185,31 @@ func runCampaignMode(dir string, seed int64, seeds, days, workers int,
 	if err != nil {
 		return usageErrorf("-shard: %v", err)
 	}
+	var cache *rescache.DiskCache
+	if len(workerList) > 0 {
+		// The workers consult their own caches (glacsim -worker -cache);
+		// an explicit coordinator-side -cache would silently do nothing.
+		if set["cache"] {
+			return usageErrorf("-cache caches local execution; with -remote give the workers -cache instead")
+		}
+	} else {
+		resolved, err := cliutil.ResolveCacheDir(cacheDir, noCache)
+		if err != nil {
+			return err
+		}
+		if resolved != "" {
+			if cache, err = rescache.Open(resolved, rescache.Options{
+				MaxBytes: int64(cacheMB) << 20,
+				Logf:     logStderr,
+			}); err != nil {
+				return err
+			}
+		}
+	}
 	// set["shard"] rather than shardM > 1: an explicit -shard 0/1 is still
 	// a shard campaign (partial JSON + merge-aware manifest), so scripts
 	// parameterised over the shard count work at m=1 too.
-	return runCampaign(dir, seed, seeds, days, workers, shardI, shardM, set["shard"], workerList, resume)
+	return runCampaign(dir, seed, seeds, days, workers, shardI, shardM, set["shard"], workerList, resume, cache)
 }
 
 func rule() string { return strings.Repeat("=", 78) }

@@ -32,6 +32,14 @@
 // requeueing shards from dead or failing workers — with output still
 // byte-identical to the local run. The worker registers the campaign hook
 // sets too, so `glacreport -campaign -remote` drives the same daemons.
+//
+// A persistent result cache (-cache DIR, defaulting to $GLACSWEB_CACHE;
+// -no-cache disables it, -cache-max-mb bounds it with LRU eviction)
+// serves already-simulated cells from disk, so re-running an identical
+// grid simulates nothing; `glacsim -worker -cache DIR` lets a worker pool
+// warm one shared cache. Entries are verified on read — content digest,
+// plan fingerprint, format version — so a hit is byte-identical to a
+// fresh simulation or it is re-simulated.
 package main
 
 import (
@@ -48,6 +56,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/deploy"
 	"repro/internal/distrib"
+	"repro/internal/rescache"
 	"repro/internal/scenario"
 	"repro/internal/station"
 	"repro/internal/sweep"
@@ -55,8 +64,8 @@ import (
 )
 
 const usageLine = "usage: glacsim [-scenario NAME] [-days N] [-v] | " +
-	"-sweep [-shard i/m] [-remote HOST:PORT,...] [-out text|csv|cells-csv|groups-csv|json] [-o FILE] | " +
-	"-merge [-out ENC] [-o FILE] FILE... | -worker -listen ADDR [-max-shards N] | -list"
+	"-sweep [-shard i/m] [-remote HOST:PORT,...] [-cache DIR|-no-cache] [-out text|csv|cells-csv|groups-csv|json] [-o FILE] | " +
+	"-merge [-out ENC] [-o FILE] FILE... | -worker -listen ADDR [-max-shards N] [-cache DIR] | -list"
 
 // usageErrorf marks a bad flag combination: main prints the usage line
 // and exits 2, distinct from runtime failures.
@@ -94,6 +103,9 @@ func run() error {
 		listen   = flag.String("listen", "", "worker: listen address (e.g. :8091 or 127.0.0.1:0)")
 		maxShard = flag.Int("max-shards", 0, "worker: concurrent shard bound (0 = 2)")
 		remote   = flag.String("remote", "", "sweep: comma-separated worker addresses to execute the grid on")
+		cacheDir = flag.String("cache", "", "result cache directory (default $"+cliutil.CacheEnv+"): serve already-simulated cells from disk")
+		noCache  = flag.Bool("no-cache", false, "ignore $"+cliutil.CacheEnv+" and simulate every cell")
+		cacheMB  = flag.Int("cache-max-mb", 0, "result cache size bound in MiB, LRU-evicted (0 = unbounded)")
 	)
 	flag.Parse()
 	set := map[string]bool{}
@@ -129,13 +141,18 @@ func run() error {
 	if *worker {
 		// Allowlist: the worker daemon serves until killed; any other
 		// flag on its command line is a confused invocation.
-		if bad := flagsOutside(set, "worker", "listen", "max-shards", "workers"); len(bad) > 0 {
+		if bad := flagsOutside(set, "worker", "listen", "max-shards", "workers",
+			"cache", "no-cache", "cache-max-mb"); len(bad) > 0 {
 			return usageErrorf("-%s does not apply to -worker", bad[0])
 		}
 		if *listen == "" {
 			return usageErrorf("-worker needs -listen ADDR")
 		}
-		return runWorker(*listen, *maxShard, *workers)
+		cache, err := openCache(*cacheDir, *noCache, *cacheMB)
+		if err != nil {
+			return err
+		}
+		return runWorker(*listen, *maxShard, *workers, cache)
 	}
 	if set["listen"] || set["max-shards"] {
 		return usageErrorf("-listen and -max-shards configure the worker daemon; use them with -worker")
@@ -168,14 +185,27 @@ func run() error {
 		if set["workers"] && len(remoteWorkers) > 0 {
 			return usageErrorf("-workers sizes the in-process pool; with -remote the workers size their own")
 		}
+		var cache *rescache.DiskCache
+		if len(remoteWorkers) > 0 {
+			// The workers consult their own caches (glacsim -worker -cache);
+			// an explicit coordinator-side -cache would silently do nothing.
+			if set["cache"] {
+				return usageErrorf("-cache caches local execution; with -remote give the workers -cache instead")
+			}
+		} else if cache, err = openCache(*cacheDir, *noCache, *cacheMB); err != nil {
+			return err
+		}
 		return runSweep(*scen, *seed, *seeds, *workers, *days, *stations, *probes,
-			*start, *fixed, *csvPath, *verbose, shardI, shardM, set["shard"], remoteWorkers, *out, *outFile)
+			*start, *fixed, *csvPath, *verbose, shardI, shardM, set["shard"], remoteWorkers, cache, *out, *outFile)
 	}
 	if set["shard"] {
 		return usageErrorf("-shard slices sweep grids; use it with -sweep")
 	}
 	if len(remoteWorkers) > 0 {
 		return usageErrorf("-remote dispatches sweep grids; use it with -sweep")
+	}
+	if set["cache"] || set["no-cache"] || set["cache-max-mb"] {
+		return usageErrorf("-cache, -no-cache and -cache-max-mb apply to -sweep and -worker runs")
 	}
 	if *out != "text" || *outFile != "" {
 		return usageErrorf("-out and -o encode sweep summaries; use them with -sweep or -merge")
@@ -280,7 +310,7 @@ func flagOverride(start string, fixed bool) (func(*deploy.Topology), error) {
 // and writes the summary in the requested encoding.
 func runSweep(scen string, seed int64, seeds, workers, days, stations, probes int,
 	start string, fixed bool, csvPath string, verbose bool,
-	shardI, shardM int, sharded bool, remote []string, out, outFile string) error {
+	shardI, shardM int, sharded bool, remote []string, cache *rescache.DiskCache, out, outFile string) error {
 	if csvPath != "" || verbose {
 		return usageErrorf("-csv and -v apply to single runs, not -sweep")
 	}
@@ -326,13 +356,24 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 			i, m = shardI, shardM
 		}
 		sum, err = sweep.RunShardWith(g, runner, i, m)
-	} else if sharded {
-		sum, err = sweep.RunShard(g, shardI, shardM, workers)
 	} else {
-		sum, err = sweep.Run(g, workers)
+		i, m := 0, 1
+		if sharded {
+			i, m = shardI, shardM
+		}
+		lr := sweep.LocalRunner{Workers: workers}
+		if cache != nil {
+			lr.Cache = cache
+		}
+		sum, err = sweep.RunShardWith(g, lr, i, m)
 	}
 	if err != nil {
 		return err
+	}
+	if cache != nil {
+		// Stderr, so the summary on stdout stays byte-identical to an
+		// uncached run.
+		fmt.Fprintln(os.Stderr, cacheStatsLine(cache))
 	}
 	what := "sweep summary"
 	if sharded {
@@ -341,8 +382,28 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 	return writeSummary(sum, what, out, outFile)
 }
 
+// openCache opens the result cache the -cache/-no-cache flags select; a
+// nil cache means caching is off.
+func openCache(dir string, noCache bool, maxMB int) (*rescache.DiskCache, error) {
+	resolved, err := cliutil.ResolveCacheDir(dir, noCache)
+	if err != nil || resolved == "" {
+		return nil, err
+	}
+	return rescache.Open(resolved, rescache.Options{
+		MaxBytes: int64(maxMB) << 20,
+		Logf:     func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+}
+
+// cacheStatsLine renders the post-run cache-stats line.
+func cacheStatsLine(c *rescache.DiskCache) string {
+	st := c.Stats()
+	return fmt.Sprintf("cache %s: %d hits, %d misses, %d stores, %d evictions (%d entries, %d bytes)",
+		c.Dir(), st.Hits, st.Misses, st.Stores, st.Evictions, c.Len(), c.SizeBytes())
+}
+
 // runWorker serves sweep shards until the process is killed.
-func runWorker(addr string, maxShards, cellWorkers int) error {
+func runWorker(addr string, maxShards, cellWorkers int, cache *rescache.DiskCache) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("worker: %w", err)
@@ -351,6 +412,12 @@ func runWorker(addr string, maxShards, cellWorkers int) error {
 		MaxShards:   maxShards,
 		CellWorkers: cellWorkers,
 		Logf:        func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	}
+	if cache != nil {
+		// The assignment is guarded so a disabled cache stays a nil
+		// interface, not a typed-nil *DiskCache the worker would call.
+		w.Cache = cache
+		fmt.Fprintf(os.Stderr, "glacsim worker: result cache at %s (%d entries)\n", cache.Dir(), cache.Len())
 	}
 	// The resolved address on stdout lets scripts use -listen 127.0.0.1:0
 	// and scrape the port.

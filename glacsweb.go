@@ -44,6 +44,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/probe"
 	"repro/internal/protocol"
+	"repro/internal/rescache"
 	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/simenv"
@@ -213,6 +214,35 @@ type (
 	// SweepLocalRunner is the in-process bounded worker pool.
 	SweepLocalRunner = sweep.LocalRunner
 )
+
+// The persistent result cache (internal/rescache): cell results are pure
+// functions of (plan fingerprint, cell index), so a SweepLocalRunner with
+// its Cache field set serves already-simulated cells from disk and a
+// re-run of an identical grid simulates nothing — with every entry
+// verified on read (content digest, cell identity, format version), so a
+// hit is byte-identical to a fresh simulation or it is re-simulated.
+type (
+	// SweepCache is the pluggable result-cache interface a
+	// SweepLocalRunner consults — the disk store below, or a remote
+	// (memcache/S3-shaped) backend honouring the same contract.
+	SweepCache = sweep.ResultCache
+	// SweepDiskCache is the on-disk content-addressed result cache.
+	SweepDiskCache = rescache.DiskCache
+	// SweepCacheOptions configures OpenResultCache (size bound, logging).
+	SweepCacheOptions = rescache.Options
+	// SweepCacheStats is a cache's hit/miss/store/evict counter snapshot.
+	SweepCacheStats = rescache.Stats
+)
+
+// OpenResultCache opens (creating if needed) the on-disk result cache
+// rooted at dir. Plug it into a SweepLocalRunner's Cache field, or a
+// SweepWorker's, and re-runs of identical grids stop simulating:
+//
+//	cache, _ := repro.OpenResultCache("/var/cache/glacsweb", repro.SweepCacheOptions{})
+//	sum, _ := repro.RunSweepOn(g, repro.SweepLocalRunner{Cache: cache})
+func OpenResultCache(dir string, opts SweepCacheOptions) (*SweepDiskCache, error) {
+	return rescache.Open(dir, opts)
+}
 
 // RunSweep executes the grid on a bounded worker pool (workers <= 0 means
 // GOMAXPROCS).

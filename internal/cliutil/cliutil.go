@@ -61,19 +61,54 @@ func Fail(tool, usageLine string, err error) {
 // ParseWorkerList parses the -remote flag the CLIs share: a
 // comma-separated list of worker addresses ("host:port" or full URLs).
 // Empty input means no workers (nil, no error); a non-empty input that
-// yields no addresses is an error.
+// yields no addresses is an error. Duplicate addresses — compared after
+// trailing-slash normalisation, so "host:8080" and "host:8080/" collide —
+// are a usage error: each address gets its own dispatch loop, so a
+// doubled host would silently pull double the shards.
 func ParseWorkerList(s string) ([]string, error) {
 	if s == "" {
 		return nil, nil
 	}
 	var workers []string
+	seen := map[string]bool{}
 	for _, addr := range strings.Split(s, ",") {
-		if addr = strings.TrimSpace(addr); addr != "" {
-			workers = append(workers, addr)
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
 		}
+		canon := strings.TrimRight(addr, "/")
+		if seen[canon] {
+			return nil, Usagef("worker %s appears twice in %q — each address gets one dispatch loop, list it once", canon, s)
+		}
+		seen[canon] = true
+		workers = append(workers, addr)
 	}
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("no worker addresses in %q", s)
 	}
 	return workers, nil
+}
+
+// CacheEnv is the environment variable supplying a default result-cache
+// directory when -cache is not given — the way an operator points every
+// tool on a box at one shared cache without editing each invocation.
+const CacheEnv = "GLACSWEB_CACHE"
+
+// ResolveCacheDir resolves the -cache/-no-cache flag pair the CLIs share
+// into the result-cache directory to open, or "" for no cache. An
+// explicit -cache DIR wins; otherwise CacheEnv supplies the default.
+// -no-cache turns caching off even under the environment default — which
+// is why combining it with an explicit -cache is a usage error rather
+// than a precedence puzzle.
+func ResolveCacheDir(dir string, noCache bool) (string, error) {
+	if noCache {
+		if dir != "" {
+			return "", Usagef("-cache and -no-cache contradict each other")
+		}
+		return "", nil
+	}
+	if dir != "" {
+		return dir, nil
+	}
+	return os.Getenv(CacheEnv), nil
 }

@@ -1,0 +1,127 @@
+package cliutil
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseWorkerList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a:1", []string{"a:1"}},
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , b:2 ,", []string{"a:1", "b:2"}},
+		{"http://a:1/,b:2", []string{"http://a:1/", "b:2"}},
+	}
+	for _, tc := range cases {
+		got, err := ParseWorkerList(tc.in)
+		if err != nil {
+			t.Errorf("ParseWorkerList(%q) error: %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseWorkerList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseWorkerListRejectsEmptyList(t *testing.T) {
+	if _, err := ParseWorkerList(" , ,"); err == nil {
+		t.Fatal("list of empty addresses accepted")
+	}
+}
+
+// A doubled worker address would get two dispatch loops and silently pull
+// double the shards — rejected as a usage error, with trailing slashes
+// normalised away first so "host:1" and "host:1/" count as the same
+// worker (baseURL strips them before dialling too).
+func TestParseWorkerListRejectsDuplicates(t *testing.T) {
+	cases := []string{
+		"a:1,a:1",
+		"a:1,b:2,a:1",
+		"a:1/,a:1",
+		"a:1, a:1/ ",
+		"http://a:1,http://a:1///",
+	}
+	for _, in := range cases {
+		_, err := ParseWorkerList(in)
+		if err == nil {
+			t.Errorf("ParseWorkerList(%q) accepted a duplicate worker", in)
+			continue
+		}
+		if !IsUsage(err) {
+			t.Errorf("ParseWorkerList(%q) error %v is not a usage error", in, err)
+		}
+		if !strings.Contains(err.Error(), "a:1") {
+			t.Errorf("error %q does not name the duplicated worker", err)
+		}
+	}
+	// Same host, different scheme spelling: distinct strings, not flagged
+	// (the operator may genuinely front one host two ways).
+	if _, err := ParseWorkerList("a:1,http://a:1"); err != nil {
+		t.Errorf("distinct spellings rejected: %v", err)
+	}
+}
+
+func TestResolveCacheDir(t *testing.T) {
+	t.Setenv(CacheEnv, "")
+	cases := []struct {
+		dir     string
+		noCache bool
+		env     string
+		want    string
+	}{
+		{"", false, "", ""},
+		{"/tmp/c", false, "", "/tmp/c"},
+		{"", false, "/env/c", "/env/c"},
+		{"/tmp/c", false, "/env/c", "/tmp/c"},
+		{"", true, "/env/c", ""},
+		{"", true, "", ""},
+	}
+	for _, tc := range cases {
+		t.Setenv(CacheEnv, tc.env)
+		got, err := ResolveCacheDir(tc.dir, tc.noCache)
+		if err != nil {
+			t.Errorf("ResolveCacheDir(%q, %v) [env %q] error: %v", tc.dir, tc.noCache, tc.env, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ResolveCacheDir(%q, %v) [env %q] = %q, want %q", tc.dir, tc.noCache, tc.env, got, tc.want)
+		}
+	}
+}
+
+func TestResolveCacheDirRejectsContradiction(t *testing.T) {
+	_, err := ResolveCacheDir("/tmp/c", true)
+	if err == nil || !IsUsage(err) {
+		t.Fatalf("-cache with -no-cache should be a usage error, got %v", err)
+	}
+}
+
+func TestFlagsOutside(t *testing.T) {
+	set := map[string]bool{"worker": true, "days": true, "seeds": true}
+	got := FlagsOutside(set, "worker", "listen")
+	if !reflect.DeepEqual(got, []string{"days", "seeds"}) {
+		t.Fatalf("FlagsOutside = %v, want the sorted offenders", got)
+	}
+	if out := FlagsOutside(set, "worker", "days", "seeds"); out != nil {
+		t.Fatalf("FlagsOutside = %v, want nil when everything is allowed", out)
+	}
+}
+
+func TestIsUsage(t *testing.T) {
+	if !IsUsage(Usagef("bad flags")) {
+		t.Fatal("Usagef result not recognised")
+	}
+	if !IsUsage(fmt.Errorf("wrap: %w", Usagef("inner"))) {
+		t.Fatal("wrapped usage error not recognised")
+	}
+	if IsUsage(fmt.Errorf("plain failure")) {
+		t.Fatal("plain error misclassified as usage")
+	}
+}

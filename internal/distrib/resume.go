@@ -25,8 +25,11 @@ const PartsDirName = "parts"
 // the plan runs through r and lands in dir/parts/<id>.part-NNNNNN.json
 // (written atomically: temp file, then rename); with resume set, parts
 // already on disk are validated against the plan fingerprint and their
-// cells are skipped. chunk <= 0 selects 8 cells per chunk. The returned
-// summary is complete and carries the plan's fingerprint.
+// cells are skipped. A part that no longer decodes is quarantined (renamed
+// to *.corrupt, out of the checkpoint glob) and its cells re-run; a part
+// from a different plan still aborts, because that is operator error, not
+// damage. chunk <= 0 selects 8 cells per chunk. The returned summary is
+// complete and carries the plan's fingerprint.
 func RunResumable(g sweep.Grid, id, dir string, r sweep.Runner, chunk int, resume bool, logf func(format string, a ...any)) (*sweep.Summary, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -58,7 +61,19 @@ func RunResumable(g sweep.Grid, id, dir string, r sweep.Runner, chunk int, resum
 		for _, path := range matches {
 			part, err := sweep.ReadSummaryFile(path)
 			if err != nil {
-				return nil, fmt.Errorf("distrib: resume: %w (delete %s to discard the checkpoint)", err, path)
+				// A checkpoint that no longer decodes — truncated by a
+				// crash writePart's rename discipline didn't cover (an
+				// older binary, a copy), or hand-mangled — costs only its
+				// own cells: quarantine it (the .corrupt suffix takes it
+				// out of the parts glob, preserving the evidence) and let
+				// the missing-cell scan re-plan its slice, rather than
+				// aborting the whole resumed campaign.
+				if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
+					return nil, fmt.Errorf("distrib: resume: %w; quarantining the corrupt checkpoint also failed: %v", err, qerr)
+				}
+				logf("distrib: %s: checkpoint %s is corrupt (%v) — quarantined as %s.corrupt, its cells will re-run",
+					id, filepath.Base(path), err, filepath.Base(path))
+				continue
 			}
 			if part.Fingerprint != fp || part.TotalCells != len(plan) {
 				return nil, fmt.Errorf("distrib: resume: %s was checkpointed from a different plan (fingerprint %s over %d cells, want %s over %d) — delete %s to start this campaign over",

@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -154,26 +155,66 @@ func TestRunResumableRejectsStaleCheckpoints(t *testing.T) {
 	}
 }
 
-// Corrupt checkpoints (a truncated write from a crash that beat the
-// atomic rename would have a .tmp suffix, but a user-mangled file can be
-// anything) are descriptive errors naming the file.
-func TestRunResumableRejectsCorruptCheckpoint(t *testing.T) {
+// A corrupt checkpoint (truncated by a crash an older writer's rename
+// discipline didn't cover, or user-mangled) costs only its own cells: it
+// is quarantined as *.corrupt and its slice re-planned, instead of
+// aborting the whole resumed campaign.
+func TestRunResumableQuarantinesCorruptCheckpoint(t *testing.T) {
 	g := runnerGrid()
 	dir := t.TempDir()
-	partsDir := filepath.Join(dir, PartsDirName)
-	if err := os.MkdirAll(partsDir, 0o755); err != nil {
+	if _, err := RunResumable(g, "exp", dir, &countingRunner{}, 2, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	bad := filepath.Join(partsDir, "exp.part-000000.json")
-	if err := os.WriteFile(bad, []byte("{truncated"), 0o644); err != nil {
+	// Truncate the first of the two checkpoints mid-document.
+	bad := filepath.Join(dir, PartsDirName, "exp.part-000000.json")
+	data, err := os.ReadFile(bad)
+	if err != nil {
 		t.Fatal(err)
 	}
-	_, err := RunResumable(g, "exp", dir, &countingRunner{}, 2, true, nil)
-	if err == nil {
-		t.Fatal("corrupt checkpoint accepted")
+	if err := os.WriteFile(bad, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(err.Error(), bad) {
-		t.Errorf("error %q does not name the corrupt file", err)
+
+	second := &countingRunner{}
+	var log []string
+	sum, err := RunResumable(g, "exp", dir, second, 2, true,
+		func(format string, a ...any) { log = append(log, fmt.Sprintf(format, a...)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.cellsRun != 2 {
+		t.Fatalf("resumed run executed %d cells, want only the quarantined part's 2", second.cellsRun)
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Fatalf("corrupt checkpoint was not quarantined: %v", err)
+	}
+	// The re-run re-checkpoints the slice under the same part name, and
+	// the fresh file decodes.
+	if _, err := sweep.ReadSummaryFile(bad); err != nil {
+		t.Fatalf("re-checkpointed part does not decode: %v", err)
+	}
+	quarantineLogged := false
+	for _, line := range log {
+		if strings.Contains(line, "quarantined") {
+			quarantineLogged = true
+		}
+	}
+	if !quarantineLogged {
+		t.Error("quarantine was silent")
+	}
+	single, err := sweep.Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumedJSON, singleJSON bytes.Buffer
+	if err := sum.WriteJSON(&resumedJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.WriteJSON(&singleJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumedJSON.Bytes(), singleJSON.Bytes()) {
+		t.Fatal("campaign resumed past a quarantined checkpoint diverged from the uninterrupted run")
 	}
 }
 

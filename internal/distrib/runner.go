@@ -193,6 +193,9 @@ func (r *RemoteRunner) RunPlanned(g sweep.Grid, fp string, total int, cells []sw
 		remaining = len(jobs)
 		live      = len(r.Workers)
 		runErr    error
+		// retired records each retired worker's reason plus its own
+		// /healthz account, quoted in the all-retired terminal error.
+		retired = map[string]string{}
 	)
 	done := make(chan struct{})
 	var closeOnce sync.Once
@@ -242,7 +245,11 @@ func (r *RemoteRunner) RunPlanned(g sweep.Grid, fp string, total int, cells []sw
 						queue <- j
 						r.logf("distrib: worker %s at capacity, shard %s requeued", worker, j.describe())
 						if busy >= busyRetire {
-							r.logf("distrib: worker %s retired after reporting busy %d times", worker, busy)
+							state := fmt.Sprintf("busy %d times; %s", busy, r.healthz(worker))
+							mu.Lock()
+							retired[worker] = state
+							mu.Unlock()
+							r.logf("distrib: worker %s retired after reporting %s", worker, state)
 							return
 						}
 						select {
@@ -272,7 +279,11 @@ func (r *RemoteRunner) RunPlanned(g sweep.Grid, fp string, total int, cells []sw
 							worker, j.describe(), j.attempts, r.attempts(), err)
 						queue <- j
 						if consecutive >= r.workerFails() {
-							r.logf("distrib: worker %s retired after %d consecutive failures", worker, consecutive)
+							state := fmt.Sprintf("%d consecutive failures; %s", consecutive, r.healthz(worker))
+							mu.Lock()
+							retired[worker] = state
+							mu.Unlock()
+							r.logf("distrib: worker %s retired after %s", worker, state)
 							return
 						}
 						// Back off so a fast-failing (dead) worker does
@@ -316,12 +327,52 @@ func (r *RemoteRunner) RunPlanned(g sweep.Grid, fp string, total int, cells []sw
 		if len(lasts) > 0 {
 			detail = "last failures: " + strings.Join(lasts, "; ")
 		}
+		// Quote each retiree's reason and its own /healthz account, in
+		// stable worker order.
+		var addrs []string
+		for addr := range retired {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		var states []string
+		for _, addr := range addrs {
+			states = append(states, fmt.Sprintf("%s retired after %s", addr, retired[addr]))
+		}
+		if len(states) > 0 {
+			detail += "; " + strings.Join(states, "; ")
+		}
 		return nil, fmt.Errorf("distrib: all %d workers retired with %d of %d shards outstanding; %s",
 			len(r.Workers), remaining, len(jobs), detail)
 	}
 	// The Runner contract: results in plan order, global indices intact.
 	sort.Slice(results, func(i, k int) bool { return results[i].Cell.Index < results[k].Cell.Index })
 	return results, nil
+}
+
+// healthz fetches a worker's /healthz document for quoting in retirement
+// messages — the worker's own account of its state (load, plan-cache
+// fingerprint) next to the coordinator's reason for dropping it. Best
+// effort with its own short deadline: the worker being probed is one the
+// pool is giving up on, and a hung probe must not stall the dispatch
+// loop's exit.
+func (r *RemoteRunner) healthz(worker string) string {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/healthz", nil)
+	if err != nil {
+		return fmt.Sprintf("healthz: %v", err)
+	}
+	client := r.HTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Sprintf("healthz unreachable (%v)", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	return fmt.Sprintf("healthz %s: %s", resp.Status, strings.TrimSpace(string(body)))
 }
 
 // dispatch posts one shard to one worker and verifies the reply: correct

@@ -422,3 +422,33 @@ func TestRemoteRunnerNormalisesWorkerAddresses(t *testing.T) {
 		}
 	}
 }
+
+// A retirement message carries the worker's own /healthz account next to
+// the coordinator's reason for dropping it.
+func TestRemoteRunnerRetirementQuotesHealthz(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok","active_shards":0,"max_shards":7,"plan_fingerprint":"feedfacefeedface"}`)
+			return
+		}
+		http.Error(w, "shard handler exploded", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	remote := &RemoteRunner{
+		Workers:     []string{srv.URL},
+		ShardCells:  1,
+		Attempts:    100, // the retire path must trigger, not the attempt cap
+		WorkerFails: 2,
+	}
+	_, err := sweep.RunShardWith(runnerGrid(), remote, 0, 1)
+	if err == nil {
+		t.Fatal("run through a failing pool succeeded")
+	}
+	msg := err.Error()
+	for _, want := range []string{"retired after 2 consecutive failures", "healthz", "feedfacefeedface", `"max_shards":7`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("terminal error %q does not carry %q", msg, want)
+		}
+	}
+}

@@ -37,6 +37,11 @@ type Worker struct {
 	// CellWorkers bounds each shard's in-process cell pool; <= 0 selects
 	// GOMAXPROCS.
 	CellWorkers int
+	// Cache, when set, backs every served shard's LocalRunner: cells any
+	// coordinator already paid for are served from it, fresh ones
+	// populate it. A pool of workers pointed at one shared directory
+	// warms one cache together.
+	Cache sweep.ResultCache
 	// Logf, when set, narrates served shards (one line each).
 	Logf func(format string, a ...any)
 
@@ -51,11 +56,17 @@ type Worker struct {
 	planFP  string
 }
 
-// Health is the /healthz document.
+// Health is the /healthz document: liveness, load, and which plan the
+// worker's one-entry plan cache currently holds — the coordinator quotes
+// it when it retires a worker, so "retired after 3 failures" comes with
+// the worker's own account of its state.
 type Health struct {
 	Status    string `json:"status"`
 	Active    int    `json:"active_shards"`
 	MaxShards int    `json:"max_shards"`
+	// PlanFP is the fingerprint of the cached plan; empty until the
+	// first shard is served.
+	PlanFP string `json:"plan_fingerprint,omitempty"`
 }
 
 func (w *Worker) logf(format string, a ...any) {
@@ -97,7 +108,7 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.mu.Lock()
-		h := Health{Status: "ok", Active: w.active, MaxShards: w.maxShards()}
+		h := Health{Status: "ok", Active: w.active, MaxShards: w.maxShards(), PlanFP: w.planFP}
 		w.mu.Unlock()
 		rw.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(rw).Encode(h); err != nil {
@@ -157,7 +168,7 @@ func (w *Worker) serveShard(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
-	sum, err := sweep.RunPlanned(g, sweep.LocalRunner{Workers: w.CellWorkers}, fp, len(plan), cells)
+	sum, err := sweep.RunPlanned(g, sweep.LocalRunner{Workers: w.CellWorkers, Cache: w.Cache}, fp, len(plan), cells)
 	if err != nil {
 		http.Error(rw, fmt.Sprintf("run: %v", err), http.StatusInternalServerError)
 		return

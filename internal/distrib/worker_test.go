@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/rescache"
 	"repro/internal/sweep"
 )
 
@@ -241,4 +242,74 @@ func TestWorkerBoundsConcurrentShards(t *testing.T) {
 		t.Fatalf("first shard got %s after release", first.Status)
 	}
 	_ = first.Body.Close()
+}
+
+// Serving a shard fills the worker's one-entry plan cache, and /healthz
+// reports which plan it holds — the coordinator-visible state a
+// retirement message quotes.
+func TestWorkerHealthzReportsPlanFingerprint(t *testing.T) {
+	srv := httptest.NewServer(&Worker{})
+	defer srv.Close()
+	g := sweep.Grid{Scenarios: []string{"as-deployed-2008"}, Seeds: []int64{5}, Days: 1}
+	req := shardRequest(t, g, "", "")
+	resp := post(t, srv.URL, req)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hresp.Body.Close() }()
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.PlanFP != req.Fingerprint {
+		t.Fatalf("healthz plan fingerprint %q, want %q", h.PlanFP, req.Fingerprint)
+	}
+}
+
+// Two worker daemons pointed at one cache directory warm it together: the
+// second worker serves cells the first one simulated, byte-identically,
+// without running them again.
+func TestWorkerPoolSharesOneCache(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *rescache.DiskCache {
+		c, err := rescache.Open(dir, rescache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	first := httptest.NewServer(&Worker{Cache: open()})
+	defer first.Close()
+	secondCache := open()
+	second := httptest.NewServer(&Worker{Cache: secondCache})
+	defer second.Close()
+
+	g := sweep.Grid{Scenarios: []string{"as-deployed-2008"}, Seeds: []int64{5, 6}, Days: 1}
+	req := shardRequest(t, g, "", "")
+	read := func(srv string) []byte {
+		resp := post(t, srv, req)
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %s", resp.Status)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cold := read(first.URL)
+	warm := read(second.URL)
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("second worker's cached reply differs from the first worker's simulated one")
+	}
+	if st := secondCache.Stats(); st.Hits != 2 || st.Misses != 0 || st.Stores != 0 {
+		t.Fatalf("second worker's cache stats = %+v, want 2 hits and nothing simulated", st)
+	}
 }

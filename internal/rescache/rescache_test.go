@@ -1,0 +1,320 @@
+package rescache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+
+	_ "repro/internal/campaign" // register campaign scenarios/hooks like the CLIs do
+)
+
+// testGrid is a small real grid: 2 seeds x 1 scenario, short horizon.
+func testGrid() sweep.Grid {
+	return sweep.Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1, 2}, Days: 2}
+}
+
+// runWith executes testGrid through a LocalRunner backed by c (nil = no
+// cache) and returns the summary's canonical JSON bytes — the byte-level
+// artifact identity the cache must preserve.
+func runWith(t *testing.T, c sweep.ResultCache) []byte {
+	t.Helper()
+	sum, err := sweep.RunShardWith(testGrid(), sweep.LocalRunner{Workers: 2, Cache: c}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openCache(t *testing.T, dir string, opts Options) *DiskCache {
+	t.Helper()
+	c, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// entryFiles returns the current-format entry files under dir, sorted.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "v1", "*", "*.cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestWarmRunIsByteIdenticalAndSimulatesNothing(t *testing.T) {
+	dir := t.TempDir()
+	cold := runWith(t, nil)
+
+	c := openCache(t, dir, Options{})
+	first := runWith(t, c)
+	if !bytes.Equal(cold, first) {
+		t.Fatal("cache-populating run diverged from the uncached run")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 2 || st.Stores != 2 {
+		t.Fatalf("cold stats = %+v, want 0 hits, 2 misses, 2 stores", st)
+	}
+
+	warm := runWith(t, c)
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm run's artifact differs from the cold run's")
+	}
+	st = c.Stats()
+	// 2 more Gets, all hits: the warm run simulated zero cells.
+	if st.Hits != 2 || st.Misses != 2 || st.Stores != 2 {
+		t.Fatalf("warm stats = %+v, want 2 hits and no new misses/stores", st)
+	}
+}
+
+func TestSecondProcessSharesTheCache(t *testing.T) {
+	dir := t.TempDir()
+	cold := runWith(t, openCache(t, dir, Options{}))
+
+	// A fresh Open over the same directory — a second process — serves
+	// the first one's entries.
+	c2 := openCache(t, dir, Options{})
+	if c2.Len() != 2 {
+		t.Fatalf("reopened cache indexed %d entries, want 2", c2.Len())
+	}
+	warm := runWith(t, c2)
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm run via reopened cache diverged")
+	}
+	if st := c2.Stats(); st.Hits != 2 || st.Misses != 0 {
+		t.Fatalf("reopened stats = %+v, want 2 hits, 0 misses", st)
+	}
+}
+
+func TestPoisonedEntryIsAMissAndIsResimulated(t *testing.T) {
+	dir := t.TempDir()
+	cold := runWith(t, openCache(t, dir, Options{}))
+
+	// Flip one payload byte in every entry: digests no longer match.
+	for _, path := range entryFiles(t, dir) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var logs []string
+	c := openCache(t, dir, Options{Logf: func(f string, a ...any) {
+		logs = append(logs, f)
+	}})
+	warm := runWith(t, c)
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("run over a poisoned cache diverged from the clean run")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 2 || st.Stores != 2 {
+		t.Fatalf("poisoned-cache stats = %+v, want every Get a miss and every cell re-stored", st)
+	}
+	if len(logs) == 0 {
+		t.Fatal("poisoned entries should be narrated via Logf")
+	}
+	// And the poison is gone: the re-stored entries now verify.
+	if st := openCache(t, dir, Options{}); st.Len() != 2 {
+		t.Fatalf("re-stored cache indexed %d entries, want 2", st.Len())
+	}
+}
+
+func TestTruncatedEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	runWith(t, openCache(t, dir, Options{}))
+
+	for _, path := range entryFiles(t, dir) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := openCache(t, dir, Options{})
+	runWith(t, c)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("truncated-cache stats = %+v, want all misses", st)
+	}
+}
+
+func TestFingerprintDriftIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := openCache(t, dir, Options{})
+	runWith(t, c)
+
+	// A different grid — different fingerprint — shares no entries, even
+	// though its cells carry the same indices.
+	g := sweep.Grid{Scenarios: []string{"dual-base"}, Seeds: []int64{1, 2}, Days: 3}
+	if _, err := sweep.RunShardWith(g, sweep.LocalRunner{Workers: 2, Cache: c}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 4 || st.Stores != 4 {
+		t.Fatalf("stats after drifted grid = %+v, want no cross-fingerprint hits", st)
+	}
+}
+
+func TestWrongCellEntryIsRefused(t *testing.T) {
+	dir := t.TempDir()
+	runWith(t, openCache(t, dir, Options{}))
+
+	// Graft cell 0's (digest-valid!) entry into cell 1's slot: the frame
+	// verifies, but the decoded identity is wrong.
+	files := entryFiles(t, dir)
+	if len(files) != 2 {
+		t.Fatalf("got %d entries, want 2", len(files))
+	}
+	data, err := os.ReadFile(filepath.Join(filepath.Dir(files[0]), "0.cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(filepath.Dir(files[0]), "1.cell"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	c := openCache(t, dir, Options{Logf: func(f string, a ...any) {
+		logs = append(logs, f)
+	}})
+	runWith(t, c)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("grafted-entry stats = %+v, want the grafted slot refused and refilled", st)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "miss") {
+		t.Fatalf("refusal should be narrated once, got %q", logs)
+	}
+}
+
+func TestFormatVersionDriftIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	runWith(t, openCache(t, dir, Options{}))
+
+	// Rewrite each entry's header to claim a future format version.
+	for _, path := range entryFiles(t, dir) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drifted := bytes.Replace(data, []byte(entryMagic+" 1 "), []byte(entryMagic+" 99 "), 1)
+		if err := os.WriteFile(path, drifted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := openCache(t, dir, Options{})
+	runWith(t, c)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("format-drift stats = %+v, want all misses", st)
+	}
+}
+
+func TestErroredCellsAreNeverCached(t *testing.T) {
+	c := openCache(t, t.TempDir(), Options{})
+	c.Put("deadbeefdeadbeef", sweep.CellResult{
+		Cell: sweep.Cell{Index: 0, Scenario: "dual-base", Seed: 1, Days: 2},
+		Err:  "hook exploded",
+	})
+	if st := c.Stats(); st.Stores != 0 {
+		t.Fatalf("stores = %d, want errored cell dropped", st.Stores)
+	}
+	if c.Len() != 0 {
+		t.Fatal("errored cell landed on disk")
+	}
+}
+
+func TestLRUEvictionBoundsTheStore(t *testing.T) {
+	c := openCache(t, t.TempDir(), Options{})
+	mk := func(index int, seed int64) sweep.CellResult {
+		return sweep.CellResult{Cell: sweep.Cell{Index: index, Scenario: "dual-base", Seed: seed, Days: 2},
+			Metrics: []sweep.Metric{{Name: "runs", Value: float64(index)}}}
+	}
+	// Learn the per-entry footprint from the entries themselves, then
+	// bound the store to ~2 of them and keep storing.
+	c.Put("deadbeefdeadbeef", mk(0, 0))
+	c.Put("deadbeefdeadbeef", mk(1, 1))
+	size := c.SizeBytes() / 2
+	bound := 2*size + size/2
+	c.opts.MaxBytes = bound
+	c.Put("deadbeefdeadbeef", mk(2, 2))
+	c.Put("deadbeefdeadbeef", mk(3, 3))
+	if c.SizeBytes() > bound {
+		t.Fatalf("store is %d bytes, bound is %d", c.SizeBytes(), bound)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions under a %d-byte bound", st, bound)
+	}
+	// The newest entry always survives its own Put's eviction sweep.
+	if _, ok := c.Get("deadbeefdeadbeef", mk(3, 3).Cell); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	// The oldest is gone.
+	if _, ok := c.Get("deadbeefdeadbeef", mk(0, 0).Cell); ok {
+		t.Fatal("least recently used entry survived the bound")
+	}
+}
+
+func TestEvictionFollowsRecencyOfUse(t *testing.T) {
+	c := openCache(t, t.TempDir(), Options{})
+	mk := func(index int) sweep.CellResult {
+		return sweep.CellResult{Cell: sweep.Cell{Index: index, Scenario: "dual-base", Seed: 1, Days: 2}}
+	}
+	c.Put("deadbeefdeadbeef", mk(0))
+	c.Put("deadbeefdeadbeef", mk(1))
+	perEntry := c.SizeBytes() / 2
+
+	// Touch entry 0 so entry 1 is now least recently used, then bound the
+	// store to two entries via a third Put.
+	if _, ok := c.Get("deadbeefdeadbeef", mk(0).Cell); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	c.opts.MaxBytes = 2*perEntry + perEntry/2
+	c.Put("deadbeefdeadbeef", mk(2))
+	if _, ok := c.Get("deadbeefdeadbeef", mk(1).Cell); ok {
+		t.Fatal("LRU entry 1 survived; recency of use is not driving eviction")
+	}
+	if _, ok := c.Get("deadbeefdeadbeef", mk(0).Cell); !ok {
+		t.Fatal("recently used entry 0 was evicted ahead of entry 1")
+	}
+}
+
+func TestEntryFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"index":0}` + "\n")
+	got, err := decodeEntry(encodeEntry(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("decoded payload %q, want %q", got, payload)
+	}
+
+	bad := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no header", []byte("junk")},
+		{"wrong magic", []byte("other-store 1 sha256=ab bytes=2\nhi")},
+		{"short payload", append(encodeEntry(payload)[:20], '\n')},
+	}
+	for _, tc := range bad {
+		if _, err := decodeEntry(tc.data); err == nil {
+			t.Errorf("%s: decodeEntry accepted a bad frame", tc.name)
+		}
+	}
+}

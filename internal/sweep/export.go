@@ -200,6 +200,34 @@ func finite(v float64) *float64 {
 	return &v
 }
 
+// cellToJSON encodes one executed cell — identity, metrics, collected
+// series — as its wire document. Shared by WriteJSON (cells inside a
+// summary) and EncodeCell (a standalone cell, the unit a result cache
+// stores).
+func cellToJSON(cr CellResult) cellJSON {
+	c := cr.Cell
+	cj := cellJSON{
+		Index: c.Index, Scenario: c.Scenario, Seed: c.Seed,
+		Stations: c.Stations, Probes: c.Probes,
+		Weather: c.Weather, ProbeLifetime: durationField(c.ProbeLifetime),
+		Override: c.Override, Days: c.Days, Err: cr.Err,
+	}
+	for _, m := range cr.Metrics {
+		cj.Metrics = append(cj.Metrics, metricJSON{Name: m.Name, Value: finite(m.Value)})
+	}
+	for _, ser := range cr.Series {
+		if ser == nil {
+			continue
+		}
+		sj := seriesJSON{Name: ser.Name, Unit: ser.Unit, Points: []pointJSON{}}
+		for _, p := range ser.Points() {
+			sj.Points = append(sj.Points, pointJSON{T: p.T.UTC().Format(time.RFC3339), V: finite(p.V)})
+		}
+		cj.Series = append(cj.Series, sj)
+	}
+	return cj
+}
+
 // WriteJSON writes the whole summary — every cell with its metrics and
 // collected series points, every group with its folded stats, plus the
 // plan fingerprint and total cell count — as one indented JSON document.
@@ -214,27 +242,7 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 		Groups:      []groupJSON{},
 	}
 	for _, cr := range s.Cells {
-		c := cr.Cell
-		cj := cellJSON{
-			Index: c.Index, Scenario: c.Scenario, Seed: c.Seed,
-			Stations: c.Stations, Probes: c.Probes,
-			Weather: c.Weather, ProbeLifetime: durationField(c.ProbeLifetime),
-			Override: c.Override, Days: c.Days, Err: cr.Err,
-		}
-		for _, m := range cr.Metrics {
-			cj.Metrics = append(cj.Metrics, metricJSON{Name: m.Name, Value: finite(m.Value)})
-		}
-		for _, ser := range cr.Series {
-			if ser == nil {
-				continue
-			}
-			sj := seriesJSON{Name: ser.Name, Unit: ser.Unit, Points: []pointJSON{}}
-			for _, p := range ser.Points() {
-				sj.Points = append(sj.Points, pointJSON{T: p.T.UTC().Format(time.RFC3339), V: finite(p.V)})
-			}
-			cj.Series = append(cj.Series, sj)
-		}
-		doc.Cells = append(doc.Cells, cj)
+		doc.Cells = append(doc.Cells, cellToJSON(cr))
 	}
 	for _, gr := range s.Groups {
 		gj := groupJSON{

@@ -21,10 +21,35 @@ type Runner interface {
 	Run(g Grid, cells []Cell) ([]CellResult, error)
 }
 
+// ResultCache is the pluggable result cache a LocalRunner consults before
+// simulating a cell and populates after. A cell result is a pure function
+// of (plan fingerprint, cell), so a cache hit is provably safe — but only
+// if the implementation upholds the contract: Get must return ok solely
+// when the stored entry decodes to exactly the result a fresh simulation
+// of c under the fingerprinted plan would produce, with the decoded cell
+// identity verified against c. Anything less — a corrupt entry, a format
+// drift, an identity mismatch — must be a miss, never a served result.
+// Implementations must be safe for concurrent use (internal/rescache is
+// the on-disk content-addressed one).
+type ResultCache interface {
+	// Get returns the cached result for cell c of the plan identified by
+	// fingerprint, or ok=false on any miss (absent, stale, corrupt).
+	Get(fingerprint string, c Cell) (CellResult, bool)
+	// Put stores an executed cell under (fingerprint, cell index). Best
+	// effort: a store failure loses only future hits, never the run.
+	Put(fingerprint string, cr CellResult)
+}
+
 // LocalRunner executes cells on a bounded in-process worker pool.
 type LocalRunner struct {
 	// Workers bounds the pool; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Cache, when set, is consulted per cell before simulating and
+	// populated with freshly simulated results (errored cells are never
+	// cached: a failure is not a pure function of the plan). With a cache
+	// the runner needs the plan identity, so it implements PlannedRunner;
+	// the plain Run entry point plans once itself to recover it.
+	Cache ResultCache
 }
 
 // Run executes the cells concurrently. Per-cell build/run failures are
@@ -32,14 +57,60 @@ type LocalRunner struct {
 // returned — a 10,000-cell campaign should not abort because one
 // configuration fails to build.
 func (r LocalRunner) Run(g Grid, cells []Cell) ([]CellResult, error) {
+	if r.Cache == nil {
+		results := make([]CellResult, len(cells))
+		r.runPool(g, cells, results, nil)
+		return results, nil
+	}
+	plan, err := Plan(g)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunPlanned(g, Fingerprint(g, plan), len(plan), cells)
+}
+
+// RunPlanned implements PlannedRunner: with a cache, the handed-over plan
+// fingerprint keys the lookups, so cached campaigns do not re-enumerate
+// the cross-product per chunk; without one it is exactly Run.
+func (r LocalRunner) RunPlanned(g Grid, fingerprint string, totalCells int, cells []Cell) ([]CellResult, error) {
+	results := make([]CellResult, len(cells))
+	if r.Cache == nil {
+		r.runPool(g, cells, results, nil)
+		return results, nil
+	}
+	var misses []int
+	for i, c := range cells {
+		if cr, ok := r.Cache.Get(fingerprint, c); ok {
+			results[i] = cr
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	r.runPool(g, cells, results, misses)
+	for _, i := range misses {
+		if results[i].Err == "" {
+			r.Cache.Put(fingerprint, results[i])
+		}
+	}
+	return results, nil
+}
+
+// runPool simulates cells[i] into results[i] for each i in todo (nil =
+// every cell) on the bounded pool.
+func (r LocalRunner) runPool(g Grid, cells []Cell, results []CellResult, todo []int) {
+	if todo == nil {
+		todo = make([]int, len(cells))
+		for i := range cells {
+			todo[i] = i
+		}
+	}
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > len(todo) {
+		workers = len(todo)
 	}
-	results := make([]CellResult, len(cells))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -51,12 +122,11 @@ func (r LocalRunner) Run(g Grid, cells []Cell) ([]CellResult, error) {
 			}
 		}()
 	}
-	for i := range cells {
+	for _, i := range todo {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	return results, nil
 }
 
 // Run executes the full grid locally: Plan, LocalRunner, Reduce. workers

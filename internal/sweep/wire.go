@@ -27,41 +27,9 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 	}
 	sum := &Summary{Fingerprint: doc.Fingerprint, TotalCells: doc.TotalCells}
 	for i, cj := range doc.Cells {
-		life, err := parseLifetime(cj.ProbeLifetime)
+		cr, err := cellFromJSON(cj)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: decode cell %d: %w", i, err)
-		}
-		cr := CellResult{
-			Cell: Cell{
-				Index: cj.Index, Scenario: cj.Scenario, Seed: cj.Seed,
-				Stations: cj.Stations, Probes: cj.Probes,
-				Weather: cj.Weather, ProbeLifetime: life,
-				Override: cj.Override, Days: cj.Days,
-			},
-			Err: cj.Err,
-		}
-		for _, mj := range cj.Metrics {
-			cr.Metrics = append(cr.Metrics, Metric{Name: mj.Name, Value: fromFinite(mj.Value)})
-		}
-		for _, sj := range cj.Series {
-			ser := trace.NewSeries(sj.Name, sj.Unit)
-			var prev time.Time
-			for k, pj := range sj.Points {
-				t, err := time.Parse(time.RFC3339, pj.T)
-				if err != nil {
-					return nil, fmt.Errorf("sweep: decode cell %d series %q point %d: %w",
-						i, sj.Name, k, err)
-				}
-				// Series.Add panics on non-monotonic samples; a corrupted
-				// shard file must be a decode error, not a crash.
-				if k > 0 && t.Before(prev) {
-					return nil, fmt.Errorf("sweep: decode cell %d series %q point %d: timestamp %s before %s",
-						i, sj.Name, k, pj.T, prev.Format(time.RFC3339))
-				}
-				prev = t
-				ser.Add(t, fromFinite(pj.V))
-			}
-			cr.Series = append(cr.Series, ser)
 		}
 		sum.Cells = append(sum.Cells, cr)
 	}
@@ -100,6 +68,76 @@ func ReadSummaryFile(path string) (*Summary, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return sum, nil
+}
+
+// cellFromJSON decodes one cell wire document back into a CellResult —
+// the inverse of cellToJSON, shared by ReadSummary and DecodeCell.
+func cellFromJSON(cj cellJSON) (CellResult, error) {
+	life, err := parseLifetime(cj.ProbeLifetime)
+	if err != nil {
+		return CellResult{}, err
+	}
+	cr := CellResult{
+		Cell: Cell{
+			Index: cj.Index, Scenario: cj.Scenario, Seed: cj.Seed,
+			Stations: cj.Stations, Probes: cj.Probes,
+			Weather: cj.Weather, ProbeLifetime: life,
+			Override: cj.Override, Days: cj.Days,
+		},
+		Err: cj.Err,
+	}
+	for _, mj := range cj.Metrics {
+		cr.Metrics = append(cr.Metrics, Metric{Name: mj.Name, Value: fromFinite(mj.Value)})
+	}
+	for _, sj := range cj.Series {
+		ser := trace.NewSeries(sj.Name, sj.Unit)
+		var prev time.Time
+		for k, pj := range sj.Points {
+			t, err := time.Parse(time.RFC3339, pj.T)
+			if err != nil {
+				return CellResult{}, fmt.Errorf("series %q point %d: %w", sj.Name, k, err)
+			}
+			// Series.Add panics on non-monotonic samples; a corrupted
+			// shard file must be a decode error, not a crash.
+			if k > 0 && t.Before(prev) {
+				return CellResult{}, fmt.Errorf("series %q point %d: timestamp %s before %s",
+					sj.Name, k, pj.T, prev.Format(time.RFC3339))
+			}
+			prev = t
+			ser.Add(t, fromFinite(pj.V))
+		}
+		cr.Series = append(cr.Series, ser)
+	}
+	return cr, nil
+}
+
+// EncodeCell writes one executed cell as a standalone JSON document — the
+// same encoding a cell has inside a WriteJSON summary, without the
+// surrounding plan identity. It is the unit a result cache stores: the
+// plan fingerprint and cell index key the entry from outside, and
+// DecodeCell recovers the result losslessly (decode → re-encode is
+// byte-identical, like the summary wire format it shares code with).
+func EncodeCell(w io.Writer, cr CellResult) error {
+	out, err := json.Marshal(cellToJSON(cr))
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}
+
+// DecodeCell decodes one EncodeCell document.
+func DecodeCell(r io.Reader) (CellResult, error) {
+	var cj cellJSON
+	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+		return CellResult{}, fmt.Errorf("sweep: decode cell: %w", err)
+	}
+	cr, err := cellFromJSON(cj)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("sweep: decode cell: %w", err)
+	}
+	return cr, nil
 }
 
 // fromFinite inverts finite: a JSON null (non-finite on the way out)

@@ -1,0 +1,112 @@
+// Benchjson turns `go test -bench` output on stdin into the BENCH_N.json
+// trajectory format: one record per benchmark with ns/op, B/op and
+// allocs/op, plus the toolchain and platform the numbers were taken on.
+// It is the parser half of `make bench`; keeping it a tiny stdin filter
+// means the Makefile stays one pipeline and the format lives in one place.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark line. Iterations is b.N as reported; the
+// per-op figures are what the trajectory tracks across PRs.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the whole file: enough provenance to compare datapoints
+// honestly (a toolchain bump explains a shift as well as a code change).
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin — did the -bench pattern match anything?")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (Report, error) {
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: []Record{},
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		rec, ok, err := parseLine(sc.Text())
+		if err != nil {
+			return report, err
+		}
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, rec)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseLine reads one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkSweep/cells=16/workers=4-8  100  1234567 ns/op  456 B/op  7 allocs/op
+//
+// Non-benchmark lines (the goos/pkg header, PASS, ok) report ok=false;
+// a line that starts like a benchmark but will not parse is an error so
+// a format drift in `go test` cannot silently produce an empty file.
+func parseLine(line string) (Record, bool, error) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Record{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Record{}, false, fmt.Errorf("unrecognised benchmark line %q", line)
+	}
+	rec := Record{Name: fields[0]}
+	var err error
+	if rec.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return Record{}, false, fmt.Errorf("iterations in %q: %v", line, err)
+	}
+	if rec.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return Record{}, false, fmt.Errorf("ns/op in %q: %v", line, err)
+	}
+	for i := 4; i+1 < len(fields); i += 2 {
+		switch fields[i+1] {
+		case "B/op":
+			if rec.BytesPerOp, err = strconv.ParseInt(fields[i], 10, 64); err != nil {
+				return Record{}, false, fmt.Errorf("B/op in %q: %v", line, err)
+			}
+		case "allocs/op":
+			if rec.AllocsPerOp, err = strconv.ParseInt(fields[i], 10, 64); err != nil {
+				return Record{}, false, fmt.Errorf("allocs/op in %q: %v", line, err)
+			}
+		}
+	}
+	return rec, true, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some cpu
+BenchmarkFleetDay/stations=8-16         	     100	  12345678 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkSweep/cells=16/workers=4-16    	      50	  23456789.5 ns/op	    8192 B/op	      34 allocs/op
+PASS
+ok  	repro	1.234s
+`
+	report, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d records, want 2: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+	first := report.Benchmarks[0]
+	if first.Name != "BenchmarkFleetDay/stations=8-16" || first.Iterations != 100 ||
+		first.NsPerOp != 12345678 || first.BytesPerOp != 4096 || first.AllocsPerOp != 12 {
+		t.Fatalf("first record = %+v", first)
+	}
+	if report.Benchmarks[1].NsPerOp != 23456789.5 {
+		t.Fatalf("fractional ns/op lost: %+v", report.Benchmarks[1])
+	}
+	if report.GoVersion == "" || report.GOOS == "" || report.GOARCH == "" {
+		t.Fatalf("provenance fields empty: %+v", report)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	report, err := parse(strings.NewReader("BenchmarkX-8\t200\t5000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 1 || report.Benchmarks[0].NsPerOp != 5000 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestMalformedBenchmarkLineIsAnError(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-8 not-a-number 5000 ns/op",
+		"BenchmarkBroken-8 200 5000", // no ns/op marker
+	} {
+		if _, err := parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("line %q parsed without error", line)
+		}
+	}
+}
