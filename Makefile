@@ -4,10 +4,10 @@
 # via tools/benchjson. Bump BENCH_N once per PR so the series of committed
 # files shows how the numbers move as the codebase grows.
 
-BENCH_N ?= 6
+BENCH_N ?= 7
 BENCH_PATTERN ?= BenchmarkFleetDay|BenchmarkSweep
 
-.PHONY: all build test vet bench
+.PHONY: all build test vet bench bench-check
 
 all: build vet test
 
@@ -25,3 +25,15 @@ bench:
 	go run ./tools/benchjson < bench.out > BENCH_$(BENCH_N).json
 	@rm -f bench.out
 	@cat BENCH_$(BENCH_N).json
+
+# bench-check is the regression gate: run the headline benchmarks fresh and
+# compare against the newest committed BENCH_*.json with tools/benchcmp.
+# Thresholds are generous (see benchcmp -h) so runner noise passes but an
+# order-of-magnitude churn regression fails the build. On failure the fresh
+# numbers stay in bench-check.json for inspection.
+bench-check:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 . > bench-check.out || (cat bench-check.out; rm -f bench-check.out; exit 1)
+	go run ./tools/benchjson < bench-check.out > bench-check.json
+	@rm -f bench-check.out
+	go run ./tools/benchcmp $$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1) bench-check.json
+	@rm -f bench-check.json

@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -96,12 +97,10 @@ func BenchmarkFig4DailyRunEvents(b *testing.B) {
 		b.Fatal(err)
 	}
 	before := d.Sim.Processed()
-	start := time.Now()
 	if err := d.RunDays(30); err != nil {
 		b.Fatal(err)
 	}
 	perDay := float64(d.Sim.Processed()-before) / 30
-	_ = start
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := d.Sim.RunFor(24 * time.Hour); err != nil {
@@ -116,7 +115,7 @@ func BenchmarkFig4DailyRunEvents(b *testing.B) {
 // should stay roughly flat: the simulator is the shared resource, the
 // stations only couple through the server's min-rule.
 func BenchmarkFleetDay(b *testing.B) {
-	for _, n := range []int{2, 8, 32} {
+	for _, n := range []int{2, 8, 32, 1000} {
 		b.Run(fmt.Sprintf("stations-%d", n), func(b *testing.B) {
 			d, err := deploy.Build(deploy.FleetTopology(42, n, 3))
 			if err != nil {
@@ -146,8 +145,18 @@ func BenchmarkSweep(b *testing.B) {
 		Stations:  []int{8},
 		Days:      10,
 	}
+	cpus := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < cpus {
+		cpus = n
+	}
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			if workers > 1 && cpus == 1 {
+				// A multi-worker datapoint on a single CPU is a misleading
+				// flat line, not a scaling measurement (BENCH_6 published
+				// exactly that). Skip rather than pollute the trajectory.
+				b.Skipf("only 1 CPU available; a %d-worker run cannot measure scaling", workers)
+			}
 			for i := 0; i < b.N; i++ {
 				sum, err := sweep.Run(grid, workers)
 				if err != nil {

@@ -374,6 +374,13 @@ func SampleSeries(sim *Simulator, interval time.Duration, name, unit string,
 	return trace.Sample(sim, interval, name, unit, fn)
 }
 
+// SampleSeriesFor is SampleSeries with a known observation horizon: the
+// series is preallocated for horizon/interval samples up front.
+func SampleSeriesFor(sim *Simulator, interval, horizon time.Duration, name, unit string,
+	fn func(now time.Time) float64) (*Series, *simenv.Ticker) {
+	return trace.SampleFor(sim, interval, horizon, name, unit, fn)
+}
+
 // ASCIIChart renders series as a terminal chart.
 func ASCIIChart(width, height int, series ...*Series) string {
 	return trace.ASCIIChart(width, height, series...)

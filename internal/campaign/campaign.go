@@ -204,7 +204,8 @@ func VoltageGrid(seed int64, seeds, days int) sweep.Grid {
 		Seeds:     sweep.SeedRange(seed, seeds),
 		Days:      days,
 		Collect: func(c sweep.Cell, d *deploy.Deployment) []*trace.Series {
-			volts, _ := trace.Sample(d.Sim, 30*time.Minute, "base-volts", "V",
+			horizon := time.Duration(days) * 24 * time.Hour
+			volts, _ := trace.SampleFor(d.Sim, 30*time.Minute, horizon, "base-volts", "V",
 				func(time.Time) float64 { return d.Base.Node().Bus.VoltageNow() })
 			return []*trace.Series{volts}
 		},

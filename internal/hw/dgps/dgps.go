@@ -87,12 +87,24 @@ type Unit struct {
 	fixFails  uint64
 	salt      int64
 	onReading []func(f File)
+
+	// Bound once at construction: the unit records a reading every five
+	// minutes while powered, and building a closure plus two name strings
+	// per reading dominated the simulation's allocation profile.
+	readFn   simenv.EventFunc
+	readName string
+	satsTag  string
+	fixTag   string
 }
 
 // New constructs a unit bound to the MCU's gps rail (defining the rail).
 // wx may be nil, in which case time fixes always succeed.
 func New(sim *simenv.Simulator, ctrl *mcu.MCU, wx *weather.Model, name string) *Unit {
 	u := &Unit{sim: sim, ctrl: ctrl, wx: wx, name: name, salt: sim.Seed()}
+	u.readFn = u.readingDone
+	u.readName = name + ".reading"
+	u.satsTag = "sats/" + name
+	u.fixTag = "fixfail/" + name
 	ctrl.DefineRail(Rail, PowerW)
 	ctrl.OnRail(Rail, u.railChanged)
 	return u
@@ -130,18 +142,20 @@ func (u *Unit) railChanged(on bool, now time.Time) {
 
 func (u *Unit) startReading(now time.Time) {
 	u.reading = true
-	u.readEv = u.sim.After(ReadingDuration, u.name+".reading", func(doneNow time.Time) {
-		if !u.powered {
-			return
-		}
-		u.reading = false
-		u.recordFile(doneNow)
-		u.startReading(doneNow) // continuous until switched off
-	})
+	u.readEv = u.sim.After(ReadingDuration, u.readName, u.readFn)
+}
+
+func (u *Unit) readingDone(doneNow time.Time) {
+	if !u.powered {
+		return
+	}
+	u.reading = false
+	u.recordFile(doneNow)
+	u.startReading(doneNow) // continuous until switched off
 }
 
 func (u *Unit) recordFile(now time.Time) {
-	sats := 6 + int(u.noise("sats", u.nextID)*8) // 6..13 satellites
+	sats := 6 + int(simenv.HashNoise(u.salt, u.satsTag, u.nextID)*8) // 6..13 satellites
 	size := int(float64(BaseReadingBytes) * (0.70 + 0.04*float64(sats)))
 	f := File{ID: u.nextID, Recorded: now, SizeBytes: size, Satellites: sats}
 	u.nextID++
@@ -210,7 +224,7 @@ func (u *Unit) TimeFix(now time.Time) (time.Time, error) {
 			return time.Time{}, fmt.Errorf("dgps %s: no satellite lock (antenna buried, %.1fm snow)", u.name, c.SnowDepthM)
 		}
 	}
-	if u.noise("fixfail", day) < 0.05 {
+	if simenv.HashNoise(u.salt, u.fixTag, day) < 0.05 {
 		u.fixFails++
 		return time.Time{}, fmt.Errorf("dgps %s: no satellite lock (poor geometry)", u.name)
 	}
@@ -220,7 +234,3 @@ func (u *Unit) TimeFix(now time.Time) (time.Time, error) {
 
 // FixFailures reports how many time fixes have failed.
 func (u *Unit) FixFailures() uint64 { return u.fixFails }
-
-func (u *Unit) noise(tag string, k uint64) float64 {
-	return simenv.HashNoise(u.salt, tag+"/"+u.name, k)
-}

@@ -29,11 +29,29 @@ const DefaultBootDelay = 35 * time.Second
 // Job is one unit of work on the host. Duration is evaluated when the job
 // starts (so it can depend on how much data accumulated); Run fires at
 // completion; Abort (optional) fires if power is lost mid-job.
+//
+// Work is the allocation-friendly alternative to the Duration/Run pair: it
+// runs when the job starts, returns the simulated duration the job occupies,
+// and optionally a completion function the host applies when the job
+// finishes. A job must set either Work, or both Duration and Run — not a mix.
 type Job struct {
 	Name     string
 	Duration func(now time.Time) time.Duration
 	Run      func(now time.Time)
 	Abort    func(now time.Time)
+	Work     func(now time.Time) (time.Duration, func(now time.Time))
+}
+
+func checkJob(j Job) {
+	if j.Work != nil {
+		if j.Duration != nil || j.Run != nil {
+			panic("gumstix: job must set Work or Duration+Run, not both")
+		}
+		return
+	}
+	if j.Duration == nil || j.Run == nil {
+		panic("gumstix: job needs Duration and Run")
+	}
 }
 
 // FixedJob builds a Job with a constant duration.
@@ -54,13 +72,28 @@ type Host struct {
 	aborts  int
 	done    int
 
-	queue   []Job
-	running bool
-	curEv   simenv.EventID
-	curJob  *Job
+	// queue[head:] are the waiting jobs. A head index (rather than
+	// re-slicing or prepending) lets pops and front-pushes reuse the same
+	// backing array, so a steady daily sequence enqueues with zero
+	// allocations once the array has grown to working size.
+	queue    []Job
+	head     int
+	running  bool
+	curEv    simenv.EventID
+	cur      Job
+	curApply func(now time.Time)
 
 	onBoot []func(now time.Time)
 	onHalt []func(now time.Time)
+
+	// Bound-once callbacks and interned event names: the hot path schedules
+	// thousands of boots and job completions per simulated season, and
+	// building a fresh closure or name string for each was a dominant
+	// allocation source.
+	bootFn    simenv.EventFunc
+	jobDoneFn simenv.EventFunc
+	bootName  string
+	jobNames  map[string]string
 
 	bootDelay time.Duration
 	uptime    time.Duration
@@ -71,6 +104,10 @@ type Host struct {
 // be defined yet; New defines it with the standard draw.
 func New(sim *simenv.Simulator, ctrl *mcu.MCU, name string) *Host {
 	h := &Host{sim: sim, ctrl: ctrl, name: name, bootDelay: DefaultBootDelay}
+	h.bootName = name + ".boot"
+	h.bootFn = h.bootDone
+	h.jobDoneFn = h.jobDone
+	h.jobNames = make(map[string]string)
 	ctrl.DefineRail(Rail, PowerW)
 	ctrl.OnRail(Rail, h.railChanged)
 	return h
@@ -104,7 +141,7 @@ func (h *Host) Uptime() time.Duration {
 }
 
 // QueueLen returns the number of jobs waiting (excluding the running job).
-func (h *Host) QueueLen() int { return len(h.queue) }
+func (h *Host) QueueLen() int { return len(h.queue) - h.head }
 
 // OnBoot registers a callback fired each time userland comes up.
 func (h *Host) OnBoot(fn func(now time.Time)) { h.onBoot = append(h.onBoot, fn) }
@@ -119,17 +156,7 @@ func (h *Host) railChanged(on bool, now time.Time) {
 	h.powered = on
 	if on {
 		h.upSince = now
-		h.sim.After(h.bootDelay, h.name+".boot", func(bootNow time.Time) {
-			if !h.powered || h.booted {
-				return
-			}
-			h.booted = true
-			h.boots++
-			for _, fn := range h.onBoot {
-				fn(bootNow)
-			}
-			h.pump(bootNow)
-		})
+		h.sim.After(h.bootDelay, h.bootName, h.bootFn)
 		return
 	}
 	// Power removed: abort everything.
@@ -137,17 +164,36 @@ func (h *Host) railChanged(on bool, now time.Time) {
 	h.booted = false
 	if h.running {
 		h.sim.Cancel(h.curEv)
-		if h.curJob != nil && h.curJob.Abort != nil {
-			h.curJob.Abort(now)
+		if h.cur.Abort != nil {
+			h.cur.Abort(now)
 		}
 		h.aborts++
 		h.running = false
-		h.curJob = nil
+		h.cur = Job{}
+		h.curApply = nil
 	}
-	h.queue = nil
+	// Clear the queue but keep the backing array; zero the dropped slots so
+	// their closures do not outlive the power cut.
+	for i := h.head; i < len(h.queue); i++ {
+		h.queue[i] = Job{}
+	}
+	h.queue = h.queue[:0]
+	h.head = 0
 	for _, fn := range h.onHalt {
 		fn(now)
 	}
+}
+
+func (h *Host) bootDone(bootNow time.Time) {
+	if !h.powered || h.booted {
+		return
+	}
+	h.booted = true
+	h.boots++
+	for _, fn := range h.onBoot {
+		fn(bootNow)
+	}
+	h.pump(bootNow)
 }
 
 // Enqueue adds a job to the run queue. Jobs enqueued while unbooted wait for
@@ -158,9 +204,7 @@ func (h *Host) Enqueue(j Job) {
 	if !h.powered {
 		return
 	}
-	if j.Duration == nil || j.Run == nil {
-		panic("gumstix: job needs Duration and Run")
-	}
+	checkJob(j)
 	h.queue = append(h.queue, j)
 	if h.booted {
 		h.pump(h.sim.Now())
@@ -175,10 +219,17 @@ func (h *Host) EnqueueFront(j Job) {
 	if !h.powered {
 		return
 	}
-	if j.Duration == nil || j.Run == nil {
-		panic("gumstix: job needs Duration and Run")
+	checkJob(j)
+	if h.head > 0 {
+		// A pop freed a slot at the front; continuation chains (drain next
+		// file, upload next item) land here and never reallocate.
+		h.head--
+		h.queue[h.head] = j
+	} else {
+		h.queue = append(h.queue, Job{})
+		copy(h.queue[1:], h.queue[:len(h.queue)-1])
+		h.queue[0] = j
 	}
-	h.queue = append([]Job{j}, h.queue...)
 	if h.booted {
 		h.pump(h.sim.Now())
 	}
@@ -190,25 +241,58 @@ func (h *Host) Do(name string, d time.Duration, run func(now time.Time)) {
 }
 
 func (h *Host) pump(now time.Time) {
-	if h.running || !h.booted || len(h.queue) == 0 {
+	if h.running || !h.booted || h.head >= len(h.queue) {
 		return
 	}
-	j := h.queue[0]
-	h.queue = h.queue[1:]
+	j := h.queue[h.head]
+	h.queue[h.head] = Job{} // release the slot's closures
+	h.head++
+	if h.head == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.head = 0
+	}
 	h.running = true
-	h.curJob = &j
-	d := j.Duration(now)
+	h.cur = j
+	var d time.Duration
+	if j.Work != nil {
+		d, h.curApply = j.Work(now)
+	} else {
+		d = j.Duration(now)
+	}
 	if d < 0 {
 		d = 0
 	}
-	h.curEv = h.sim.After(d, h.name+".job."+j.Name, func(doneNow time.Time) {
-		if !h.booted { // power vanished; abort path already handled
-			return
+	h.curEv = h.sim.After(d, h.jobEventName(j.Name), h.jobDoneFn)
+}
+
+func (h *Host) jobDone(doneNow time.Time) {
+	if !h.booted { // power vanished; abort path already handled
+		return
+	}
+	j := h.cur
+	apply := h.curApply
+	h.running = false
+	h.cur = Job{}
+	h.curApply = nil
+	h.done++
+	if j.Work != nil {
+		if apply != nil {
+			apply(doneNow)
 		}
-		h.running = false
-		h.curJob = nil
-		h.done++
+	} else {
 		j.Run(doneNow)
-		h.pump(doneNow)
-	})
+	}
+	h.pump(doneNow)
+}
+
+// jobEventName interns "<host>.job.<name>" — the daily sequence reuses a
+// small fixed set of job names, so the concatenation happens once per name
+// rather than once per job execution.
+func (h *Host) jobEventName(name string) string {
+	if s, ok := h.jobNames[name]; ok {
+		return s
+	}
+	s := h.name + ".job." + name
+	h.jobNames[name] = s
+	return s
 }

@@ -75,6 +75,12 @@ type alarm struct {
 	name string
 	fn   func(rtcNow time.Time)
 	ev   simenv.EventID
+
+	// evName and fireFn are built once per alarm so SetTime re-arms (which
+	// happen after every clock recovery) reuse them instead of allocating a
+	// fresh closure and name string per arm.
+	evName string
+	fireFn simenv.EventFunc
 }
 
 // MCU is a simulated MSP430 attached to a power bus. All methods must be
@@ -93,8 +99,16 @@ type MCU struct {
 	alarms    map[AlarmID]*alarm
 	nextAlarm AlarmID
 	rails     map[string]float64 // rail name -> watts while on
+	railLoad  map[string]string  // rail name -> interned bus load name
 	railsOn   map[string]bool
 	railSubs  map[string][]func(on bool, now time.Time)
+
+	// Interned hot-path names and tags (rail switches, housekeeping samples
+	// and alarm arms otherwise rebuild the same strings all season).
+	sampleName string
+	alarmNames map[string]string
+	pitchTag   string
+	rollTag    string
 
 	samples []HousekeepingSample
 	dropped int
@@ -122,16 +136,21 @@ func New(sim *simenv.Simulator, bus *energy.Bus, sampler energy.Sampler, cfg Con
 		cfg.Name = "mcu"
 	}
 	m := &MCU{
-		sim:      sim,
-		bus:      bus,
-		sampler:  sampler,
-		cfg:      cfg,
-		alarms:   make(map[AlarmID]*alarm),
-		rails:    make(map[string]float64),
-		railsOn:  make(map[string]bool),
-		railSubs: make(map[string][]func(bool, time.Time)),
-		nv:       make(map[string]string),
+		sim:        sim,
+		bus:        bus,
+		sampler:    sampler,
+		cfg:        cfg,
+		alarms:     make(map[AlarmID]*alarm),
+		rails:      make(map[string]float64),
+		railLoad:   make(map[string]string),
+		railsOn:    make(map[string]bool),
+		railSubs:   make(map[string][]func(bool, time.Time)),
+		nv:         make(map[string]string),
+		alarmNames: make(map[string]string),
 	}
+	m.sampleName = cfg.Name + ".sample"
+	m.pitchTag = cfg.Name + "/pitch"
+	m.rollTag = cfg.Name + "/roll"
 	bus.OnPowerFail(m.powerFail)
 	bus.OnPowerRestore(m.powerRestore)
 	m.start(sim.Now(), true)
@@ -164,7 +183,7 @@ func (m *MCU) start(now time.Time, cold bool) {
 	}
 	m.wallBase = now
 	m.bus.SetLoad(m.loadName(), m.cfg.SleepW)
-	m.sampleTicker = m.sim.Every(now.Add(SampleInterval), SampleInterval, m.cfg.Name+".sample", m.takeSample)
+	m.sampleTicker = m.sim.Every(now.Add(SampleInterval), SampleInterval, m.sampleName, m.takeSample)
 	for _, fn := range m.onBoot {
 		fn(m.Now(), cold)
 	}
@@ -273,9 +292,22 @@ func (m *MCU) AlarmAt(rtc time.Time, name string, fn func(rtcNow time.Time)) Ala
 	m.mustBeAlive("AlarmAt")
 	m.nextAlarm++
 	a := &alarm{id: m.nextAlarm, rtc: rtc, name: name, fn: fn}
+	a.evName = m.alarmEventName(name)
+	a.fireFn = func(time.Time) { m.fireAlarm(a) }
 	m.alarms[a.id] = a
 	m.armAlarm(a)
 	return a.id
+}
+
+// alarmEventName interns "<mcu>.alarm.<name>": the schedule reuses a small
+// fixed set of alarm names every day.
+func (m *MCU) alarmEventName(name string) string {
+	if s, ok := m.alarmNames[name]; ok {
+		return s
+	}
+	s := m.cfg.Name + ".alarm." + name
+	m.alarmNames[name] = s
+	return s
 }
 
 // AlarmAfter schedules fn after d of RTC time.
@@ -310,16 +342,18 @@ func (m *MCU) armAlarm(a *alarm) {
 	if wait < 0 {
 		wait = 0
 	}
-	a.ev = m.sim.After(wait, m.cfg.Name+".alarm."+a.name, func(now time.Time) {
-		if !m.alive {
-			return
-		}
-		if _, live := m.alarms[a.id]; !live {
-			return
-		}
-		delete(m.alarms, a.id)
-		a.fn(m.Now())
-	})
+	a.ev = m.sim.After(wait, a.evName, a.fireFn)
+}
+
+func (m *MCU) fireAlarm(a *alarm) {
+	if !m.alive {
+		return
+	}
+	if _, live := m.alarms[a.id]; !live {
+		return
+	}
+	delete(m.alarms, a.id)
+	a.fn(m.Now())
 }
 
 // --- Power rails ---
@@ -330,6 +364,7 @@ func (m *MCU) DefineRail(rail string, watts float64) {
 		panic(fmt.Sprintf("mcu: negative rail wattage %v", watts))
 	}
 	m.rails[rail] = watts
+	m.railLoad[rail] = m.cfg.Name + ".rail." + rail
 }
 
 // OnRail subscribes to power changes of a rail (peripherals use this to know
@@ -353,9 +388,9 @@ func (m *MCU) SetRail(rail string, on bool) {
 	}
 	m.railsOn[rail] = on
 	if on {
-		m.bus.SetLoad(m.cfg.Name+".rail."+rail, w)
+		m.bus.SetLoad(m.railLoad[rail], w)
 	} else {
-		m.bus.SetLoad(m.cfg.Name+".rail."+rail, 0)
+		m.bus.SetLoad(m.railLoad[rail], 0)
 	}
 	for _, fn := range m.railSubs[rail] {
 		fn(on, m.sim.Now())
@@ -380,8 +415,8 @@ func (m *MCU) takeSample(now time.Time) {
 		// The mast settles as the surface melts out from under its feet:
 		// a slow melt-driven lean plus wind buffeting.
 		k := uint64(now.Unix() / 1800)
-		pitch = 5*c.MeltIndex + 0.4*(simenv.HashNoise(m.sim.Seed(), m.cfg.Name+"/pitch", k)-0.5)
-		roll = 2.5*c.MeltIndex + 0.3*(simenv.HashNoise(m.sim.Seed(), m.cfg.Name+"/roll", k)-0.5)
+		pitch = 5*c.MeltIndex + 0.4*(simenv.HashNoise(m.sim.Seed(), m.pitchTag, k)-0.5)
+		roll = 2.5*c.MeltIndex + 0.3*(simenv.HashNoise(m.sim.Seed(), m.rollTag, k)-0.5)
 	}
 	s := HousekeepingSample{
 		RTC:          m.Now(),

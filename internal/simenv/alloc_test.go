@@ -1,0 +1,77 @@
+package simenv
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the kernel's allocation discipline: once the queue and
+// slot table have grown to working size, scheduling and executing events
+// must not touch the heap at all. A regression here multiplies by every
+// event of every cell of every campaign, so it fails the build rather than
+// waiting for the bench trajectory to notice.
+
+func TestScheduleStepAllocFree(t *testing.T) {
+	s := New(1)
+	fn := func(time.Time) {}
+	// Warm up so the queue, slot table and free list reach steady size.
+	for i := 0; i < 64; i++ {
+		s.After(time.Second, "warm", fn)
+	}
+	for s.Step() {
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		s.After(time.Second, "e", fn)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+execute allocates %.1f objects/op in steady state, want 0", avg)
+	}
+}
+
+func TestCancelAllocFree(t *testing.T) {
+	s := New(1)
+	fn := func(time.Time) {}
+	for i := 0; i < 64; i++ {
+		s.After(time.Second, "warm", fn)
+	}
+	for s.Step() {
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		id := s.After(time.Second, "e", fn)
+		s.Cancel(id)
+		for s.Step() {
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+cancel+reap allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func TestTickerSteadyStateAllocFree(t *testing.T) {
+	s := New(1)
+	s.Every(s.Now().Add(time.Second), time.Second, "tk", func(time.Time) {})
+	if !s.Step() { // first firing settles the reschedule path
+		t.Fatal("ticker did not fire")
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if !s.Step() {
+			t.Fatal("ticker stopped firing")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("ticker reschedule allocates %.1f objects/op, want 0 (tick closure must be bound once)", avg)
+	}
+}
+
+func TestRandHandleDrawAllocFree(t *testing.T) {
+	s := New(1)
+	r := s.Rand("hot") // the handle a hot path hoists out of its loop
+	avg := testing.AllocsPerRun(200, func() {
+		_ = r.Float64()
+		_ = s.Rand("hot") // repeated lookups are lock-free map hits
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Rand draw allocates %.1f objects/op, want 0", avg)
+	}
+}

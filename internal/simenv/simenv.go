@@ -6,15 +6,24 @@
 // streams. All hardware, weather and link models are built as events
 // scheduled on a Simulator, which makes multi-month deployments run in
 // milliseconds and makes every run exactly reproducible from its seed.
+//
+// The event loop is engineered for allocation discipline: events are stored
+// by value in a hand-rolled binary heap (no container/heap interface
+// boxing), event identity lives in a reusable generation-stamped slot table
+// rather than per-event map entries, and tickers reschedule with a closure
+// bound once at construction. Steady-state schedule/execute cycles perform
+// zero heap allocations (pinned by TestScheduleStepAllocFree), which is
+// what lets fleet-scale sweep campaigns run at memory-bandwidth speed
+// instead of garbage-collection speed.
 package simenv
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,7 +47,11 @@ type Clock interface {
 // simulated time on the single simulation goroutine.
 type EventFunc func(now time.Time)
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is never issued, so it can stand for "no event". An ID packs a slot
+// index and a generation: when the event runs (or its cancellation is
+// reaped) the slot's generation advances, so a stale ID held by a component
+// can never affect an unrelated event that later reuses the slot.
 type EventID uint64
 
 type event struct {
@@ -49,28 +62,92 @@ type event struct {
 	name string
 }
 
-type eventQueue []*event
+// eventQueue is a binary min-heap of events ordered by (at, seq), stored by
+// value. The sift routines are hand-rolled instead of using container/heap:
+// the interface-based API would box every pushed event onto the heap, which
+// at fleet scale was the single largest allocation site in the simulator.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if !q[i].at.Equal(q[j].at) {
 		return q[i].at.Before(q[j].at)
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (s *Simulator) pushEvent(ev event) {
+	s.queue = append(s.queue, ev)
+	q := s.queue
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+func (s *Simulator) popEvent() event {
+	q := s.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop the fn/name references so the GC can reclaim them
+	s.queue = q[:n]
+	q = s.queue
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
 	return ev
+}
+
+// Slot states for the event identity table. A slot is free until At claims
+// it, pending while its event sits in the queue, and cancelled between
+// Cancel and the pop that reaps it.
+const (
+	slotFree uint8 = iota
+	slotPending
+	slotCancelled
+)
+
+type eventSlot struct {
+	gen   uint32
+	state uint8
+}
+
+// packID encodes a slot index and generation as an EventID. The +1 keeps
+// the zero EventID unused so components can treat it as "no event".
+func packID(idx, gen uint32) EventID {
+	return EventID(uint64(gen)<<32 | (uint64(idx) + 1))
+}
+
+// slotFor resolves an EventID to its live slot, or nil for an ID that was
+// never issued or whose slot has since been recycled (generation mismatch).
+func (s *Simulator) slotFor(id EventID) *eventSlot {
+	low := uint64(id) & 0xFFFFFFFF
+	if low == 0 || low > uint64(len(s.slots)) {
+		return nil
+	}
+	sl := &s.slots[low-1]
+	if sl.gen != uint32(uint64(id)>>32) {
+		return nil
+	}
+	return sl
 }
 
 // Simulator is a single-threaded discrete-event simulator. The zero value is
@@ -79,16 +156,15 @@ type Simulator struct {
 	now       time.Time
 	queue     eventQueue
 	seq       uint64
-	nextID    EventID
-	cancelled map[EventID]struct{}
-	queued    map[EventID]struct{}
+	slots     []eventSlot
+	freeSlots []uint32
 	stopped   bool
 	running   bool
 	processed uint64
 	seed      int64
 
-	mu      sync.Mutex // guards rngs only; the event loop itself is single-threaded
-	rngs    map[string]*rand.Rand
+	randMu  sync.Mutex // serializes stream creation; steady-state Rand reads are lock-free
+	rngs    atomic.Pointer[map[string]*rand.Rand]
 	tracers []func(name string, at time.Time)
 }
 
@@ -100,13 +176,7 @@ func New(seed int64) *Simulator {
 
 // NewAt returns a Simulator whose clock starts at the given time.
 func NewAt(seed int64, start time.Time) *Simulator {
-	return &Simulator{
-		now:       start,
-		cancelled: make(map[EventID]struct{}),
-		queued:    make(map[EventID]struct{}),
-		rngs:      make(map[string]*rand.Rand),
-		seed:      seed,
-	}
+	return &Simulator{now: start, seed: seed}
 }
 
 var _ Clock = (*Simulator)(nil)
@@ -127,16 +197,37 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // Rand returns the deterministic random stream for the given name. Streams
 // are independent: drawing from one never perturbs another, so adding a new
 // stochastic process to a model does not change existing traces.
+//
+// The returned *rand.Rand is a stable handle for the simulator's lifetime —
+// hot paths should call Rand once and hold the handle, which makes
+// steady-state draws free of any lookup. Rand itself is cheap to call
+// repeatedly too: the stream table is copy-on-write, so lookups after the
+// first take no lock and hash nothing.
 func (s *Simulator) Rand(name string) *rand.Rand {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r, ok := s.rngs[name]; ok {
-		return r
+	if m := s.rngs.Load(); m != nil {
+		if r, ok := (*m)[name]; ok {
+			return r
+		}
+	}
+	s.randMu.Lock()
+	defer s.randMu.Unlock()
+	old := s.rngs.Load()
+	if old != nil {
+		if r, ok := (*old)[name]; ok {
+			return r
+		}
 	}
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
 	r := rand.New(rand.NewSource(s.seed ^ int64(h.Sum64()))) //nolint:gosec // simulation, not crypto
-	s.rngs[name] = r
+	next := make(map[string]*rand.Rand, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[name] = r
+	s.rngs.Store(&next)
 	return r
 }
 
@@ -148,7 +239,9 @@ func (s *Simulator) OnEvent(fn func(name string, at time.Time)) {
 
 // At schedules fn to run at the given absolute simulated time. Scheduling in
 // the past (or exactly now) runs the event at the current time, after any
-// events already queued for that time.
+// events already queued for that time. Steady-state scheduling allocates
+// nothing: the event lives by value in the queue and its identity in a
+// recycled slot.
 func (s *Simulator) At(at time.Time, name string, fn EventFunc) EventID {
 	if fn == nil {
 		panic("simenv: nil EventFunc")
@@ -157,11 +250,36 @@ func (s *Simulator) At(at time.Time, name string, fn EventFunc) EventID {
 		at = s.now
 	}
 	s.seq++
-	s.nextID++
-	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn, name: name}
-	heap.Push(&s.queue, ev)
-	s.queued[ev.id] = struct{}{}
-	return ev.id
+	id := s.allocSlot()
+	s.pushEvent(event{at: at, seq: s.seq, id: id, fn: fn, name: name})
+	return id
+}
+
+func (s *Simulator) allocSlot() EventID {
+	var idx uint32
+	if n := len(s.freeSlots); n > 0 {
+		idx = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+	} else {
+		s.slots = append(s.slots, eventSlot{})
+		idx = uint32(len(s.slots) - 1)
+	}
+	s.slots[idx].state = slotPending
+	return packID(idx, s.slots[idx].gen)
+}
+
+// freeSlot retires the slot behind a popped event and reports whether the
+// event had been cancelled. Advancing the generation invalidates any stale
+// EventID a component still holds, so slot reuse can never let an old
+// Cancel reach an unrelated new event.
+func (s *Simulator) freeSlot(id EventID) (cancelled bool) {
+	idx := uint32(uint64(id)&0xFFFFFFFF) - 1
+	sl := &s.slots[idx]
+	cancelled = sl.state == slotCancelled
+	sl.state = slotFree
+	sl.gen++
+	s.freeSlots = append(s.freeSlots, idx)
+	return cancelled
 }
 
 // After schedules fn to run d after the current simulated time. Negative
@@ -180,32 +298,32 @@ func (s *Simulator) Every(start time.Time, period time.Duration, name string, fn
 		panic(fmt.Sprintf("simenv: non-positive ticker period %v", period))
 	}
 	t := &Ticker{sim: s, period: period, name: name, fn: fn}
-	t.id = s.At(start, name, t.tick)
+	t.tickFn = t.tick // bound once; every reschedule reuses this closure
+	t.id = s.At(start, name, t.tickFn)
 	return t
 }
 
 // Cancel prevents a scheduled event from running. Cancelling an event that
-// already ran (or was already cancelled) is a no-op: only IDs still in the
-// queue are marked, so the cancelled set cannot leak entries that no pop
-// will ever reclaim.
+// already ran (or was already cancelled, or was never issued) is a no-op:
+// the ID's generation no longer matches its slot, so nothing is marked and
+// nothing can leak — the slot table holds no residue for completed events.
 func (s *Simulator) Cancel(id EventID) {
-	if _, pending := s.queued[id]; !pending {
-		return
+	if sl := s.slotFor(id); sl != nil && sl.state == slotPending {
+		sl.state = slotCancelled
 	}
-	s.cancelled[id] = struct{}{}
 }
 
-// Stop halts Run after the currently executing event returns.
+// Stop halts Run after the currently executing event returns. A Stop issued
+// while no Run is in progress is honoured by the next Run, which returns
+// ErrStopped before executing any event; each Stop stops exactly one Run.
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		delete(s.queued, ev.id)
-		if _, dead := s.cancelled[ev.id]; dead {
-			delete(s.cancelled, ev.id)
+		ev := s.popEvent()
+		if s.freeSlot(ev.id) {
 			continue
 		}
 		if ev.at.After(s.now) {
@@ -224,28 +342,25 @@ func (s *Simulator) Step() bool {
 // Run executes events until the queue is empty, the horizon is reached, or
 // Stop is called. The clock is left at min(horizon, last event time); if the
 // queue drains before the horizon the clock is advanced to the horizon so
-// callers can chain Run calls. Returns ErrStopped iff stopped explicitly.
+// callers can chain Run calls. Returns ErrStopped iff stopped explicitly —
+// including a Stop issued before Run was called, which stops this Run
+// before it executes anything (the stop is consumed either way, so a
+// subsequent Run proceeds normally).
 func (s *Simulator) Run(until time.Time) error {
 	if s.running {
 		panic("simenv: re-entrant Run")
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	s.stopped = false
 	for !s.stopped {
-		if len(s.queue) == 0 {
-			break
-		}
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at.After(until) {
+		ev, ok := s.peek()
+		if !ok || ev.at.After(until) {
 			break
 		}
 		s.Step()
 	}
 	if s.stopped {
+		s.stopped = false
 		return ErrStopped
 	}
 	if s.now.Before(until) {
@@ -259,18 +374,16 @@ func (s *Simulator) RunFor(d time.Duration) error {
 	return s.Run(s.now.Add(d))
 }
 
-func (s *Simulator) peek() *event {
+func (s *Simulator) peek() (event, bool) {
 	for len(s.queue) > 0 {
-		ev := s.queue[0]
-		if _, dead := s.cancelled[ev.id]; dead {
-			heap.Pop(&s.queue)
-			delete(s.queued, ev.id)
-			delete(s.cancelled, ev.id)
+		id := s.queue[0].id
+		if sl := s.slotFor(id); sl != nil && sl.state == slotCancelled {
+			s.freeSlot(s.popEvent().id)
 			continue
 		}
-		return ev
+		return s.queue[0], true
 	}
-	return nil
+	return event{}, false
 }
 
 // Ticker is a repeating event created by Every.
@@ -279,6 +392,7 @@ type Ticker struct {
 	period time.Duration
 	name   string
 	fn     EventFunc
+	tickFn EventFunc // t.tick bound once, so rescheduling allocates no closure
 	id     EventID
 	done   bool
 	fires  uint64
@@ -308,7 +422,7 @@ func (t *Ticker) tick(now time.Time) {
 	if t.done { // fn may have stopped us
 		return
 	}
-	t.id = t.sim.At(now.Add(t.period), t.name, t.tick)
+	t.id = t.sim.At(now.Add(t.period), t.name, t.tickFn)
 }
 
 // Midday returns 12:00 UTC on the day containing ts — the daily

@@ -255,6 +255,18 @@ func TestHourOfDay(t *testing.T) {
 	}
 }
 
+// slotsIn counts slots of the identity table in the given state — the
+// replacement for the old tests that counted cancelled/queued map entries.
+func slotsIn(s *Simulator, state uint8) int {
+	n := 0
+	for _, sl := range s.slots {
+		if sl.state == state {
+			n++
+		}
+	}
+	return n
+}
+
 func TestCancelAfterExecutionIsNoOp(t *testing.T) {
 	s := New(1)
 	id := s.After(time.Hour, "e", func(time.Time) {})
@@ -262,8 +274,8 @@ func TestCancelAfterExecutionIsNoOp(t *testing.T) {
 		t.Fatalf("RunFor: %v", err)
 	}
 	s.Cancel(id) // the event already ran; this must not poison anything
-	if len(s.cancelled) != 0 {
-		t.Fatalf("cancelled map holds %d executed IDs (leak)", len(s.cancelled))
+	if n := slotsIn(s, slotCancelled); n != 0 {
+		t.Fatalf("%d slots cancelled by a stale Cancel (leak)", n)
 	}
 	ran := false
 	s.After(time.Hour, "later", func(time.Time) { ran = true })
@@ -278,26 +290,75 @@ func TestCancelAfterExecutionIsNoOp(t *testing.T) {
 func TestCancelUnknownIDIsNoOp(t *testing.T) {
 	s := New(1)
 	s.Cancel(EventID(12345))
-	if len(s.cancelled) != 0 {
-		t.Fatalf("cancelled map holds %d entries for an unknown ID", len(s.cancelled))
+	if n := slotsIn(s, slotCancelled); n != 0 {
+		t.Fatalf("%d slots cancelled for an unknown ID", n)
 	}
 }
 
-func TestCancelledMapDrainsAfterRun(t *testing.T) {
+func TestCancelledSlotsDrainAfterRun(t *testing.T) {
 	s := New(1)
 	for i := 0; i < 4; i++ {
 		id := s.After(time.Duration(i+1)*time.Minute, "e", func(time.Time) { t.Fatal("cancelled event ran") })
 		s.Cancel(id)
-		s.Cancel(id) // double-cancel stays a single entry
+		s.Cancel(id) // double-cancel is still one cancelled slot
 	}
-	if len(s.cancelled) != 4 {
-		t.Fatalf("cancelled map = %d entries, want 4", len(s.cancelled))
+	if n := slotsIn(s, slotCancelled); n != 4 {
+		t.Fatalf("%d cancelled slots, want 4", n)
 	}
 	if err := s.RunFor(time.Hour); err != nil {
 		t.Fatalf("RunFor: %v", err)
 	}
-	if len(s.cancelled) != 0 || len(s.queued) != 0 {
-		t.Fatalf("residue after run: %d cancelled, %d queued", len(s.cancelled), len(s.queued))
+	if c, p := slotsIn(s, slotCancelled), slotsIn(s, slotPending); c != 0 || p != 0 {
+		t.Fatalf("residue after run: %d cancelled, %d pending slots", c, p)
+	}
+	if len(s.freeSlots) != len(s.slots) {
+		t.Fatalf("free list holds %d of %d slots after drain", len(s.freeSlots), len(s.slots))
+	}
+}
+
+func TestStaleCancelCannotKillSlotReuser(t *testing.T) {
+	// The generation scheme's whole point: an EventID whose event already
+	// ran must not cancel the unrelated event that reuses its slot.
+	s := New(1)
+	stale := s.After(time.Minute, "first", func(time.Time) {})
+	if err := s.RunFor(time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	ran := false
+	reuser := s.After(time.Minute, "second", func(time.Time) { ran = true })
+	if uint32(stale) != uint32(reuser) {
+		t.Fatalf("test premise broken: slot not reused (ids %d, %d)", stale, reuser)
+	}
+	s.Cancel(stale)
+	if err := s.RunFor(time.Hour); err != nil {
+		t.Fatalf("second RunFor: %v", err)
+	}
+	if !ran {
+		t.Fatal("stale Cancel killed the event that reused its slot")
+	}
+}
+
+func TestStopBetweenRunsHonoured(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(time.Minute, "e", func(time.Time) { ran = true })
+	s.Stop()
+	before := s.Now()
+	if err := s.RunFor(time.Hour); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run after pending Stop = %v, want ErrStopped", err)
+	}
+	if ran {
+		t.Fatal("Run executed an event despite a pending Stop")
+	}
+	if !s.Now().Equal(before) {
+		t.Fatalf("clock moved to %v during a stopped Run", s.Now())
+	}
+	// The stop is consumed: the next Run proceeds normally.
+	if err := s.RunFor(time.Hour); err != nil {
+		t.Fatalf("Run after consumed Stop: %v", err)
+	}
+	if !ran {
+		t.Fatal("event did not run once the Stop was consumed")
 	}
 }
 
@@ -318,8 +379,8 @@ func TestTickerStopInsideOwnCallbackLeavesNoResidue(t *testing.T) {
 	if tk.Fires() != 2 {
 		t.Fatalf("ticker fired %d times after Stop at 2", tk.Fires())
 	}
-	if len(s.cancelled) != 0 {
-		t.Fatalf("self-stopping ticker leaked %d cancelled entries", len(s.cancelled))
+	if n := slotsIn(s, slotCancelled); n != 0 {
+		t.Fatalf("self-stopping ticker leaked %d cancelled slots", n)
 	}
 }
 

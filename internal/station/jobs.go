@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/comms"
+	"repro/internal/hw/dgps"
 	"repro/internal/hw/gumstix"
 	"repro/internal/power"
 	"repro/internal/protocol"
@@ -22,15 +23,175 @@ const (
 	specialExecTime  = 1 * time.Minute
 )
 
+// initWork binds the daily sequence's work closures, alarm callbacks and
+// method values once, at construction. The Fig 4 sequence enqueues the same
+// jobs every simulated day; before this, each day built a fresh closure (and
+// often a fresh name string) per job, which dominated the fleet-scale
+// allocation profile.
+func (s *Station) initWork() {
+	// MCU alarm callbacks (scheduled daily, re-armed after recoveries).
+	s.dailyWakeFn = s.dailyWake
+	s.watchdogFn = func(at time.Time) {
+		m := s.node.MCU
+		if s.node.Host.Powered() {
+			s.stats.WatchdogTrips++
+			if s.cur != nil {
+				s.cur.WatchdogTripped = true
+				s.finishRun(at, false)
+			}
+			m.SetRail(gumstix.Rail, false)
+			m.SetRail(comms.GPRSRail, false)
+		}
+	}
+	s.gpsOffFn = func(time.Time) { s.node.MCU.SetRail(dgps.Rail, false) }
+	s.gpsReadFn = func(time.Time) {
+		m := s.node.MCU
+		if !m.Alive() {
+			return
+		}
+		m.SetRail(dgps.Rail, true)
+		m.AlarmAfter(dgps.ReadingDuration+30*time.Second, "gps-off", s.gpsOffFn)
+	}
+
+	// Chained continuations reuse the same method values.
+	s.gpsDrainFn = s.gpsDrainWork
+	s.uploadFn = s.uploadWork
+
+	// --- Fig 4, step: "Get readings from MSP" + "Calculate local power state" ---
+	s.mcuReadingsFn = func(now time.Time) (time.Duration, func(time.Time)) {
+		samples := s.node.MCU.DrainSamples()
+		local := s.state
+		if avg, ok := power.DailyAverage(samples); ok {
+			local = power.StateForVoltage(avg)
+		}
+		return mcuDrainTime, func(done time.Time) {
+			s.cur.LocalState = local
+			if len(samples) > 0 {
+				s.spool.Add(storage.KindHousekeeping, "housekeeping", int64(len(samples))*24, done)
+			}
+			s.continueAfterPowerState(done, local)
+		}
+	}
+
+	// --- Fig 4, step: "Package data to be sent" ---
+	s.packageFn = func(now time.Time) (time.Duration, func(time.Time)) {
+		return packageTime, func(done time.Time) {
+			// §VI log-volume lesson: per-reading debug output adds up fast
+			// on the first contact in months.
+			logBytes := s.cfg.LogBaseBytes + s.cfg.LogPerReadingBytes*int64(s.cur.ProbeReadings)
+			s.spool.Add(storage.KindLog, "daily-log", logBytes, done)
+		}
+	}
+
+	// --- Fig 4, comms: attach → state → data → override → special ---
+	s.attachFn = func(now time.Time) (time.Duration, func(time.Time)) {
+		s.node.MCU.SetRail(comms.GPRSRail, true)
+		return s.node.Modem.AttachTime(), func(done time.Time) {
+			if err := s.node.Modem.Attach(done); err != nil {
+				s.commsFailed()
+				return
+			}
+			s.cur.CommsOK = true
+		}
+	}
+	s.uploadStateFn = s.transferWork(stateMsgBytes, func(done time.Time) {
+		s.srv.UploadState(s.node.Name, s.commsLocal, done)
+	})
+	s.overrideFn = s.transferWork(overrideMsgBytes, func(done time.Time) {
+		ov := s.srv.OverrideFor(s.node.Name, done)
+		s.cur.Override = ov
+		s.cur.OverrideFetched = true
+	})
+	s.specialOutFn = func(now time.Time) (time.Duration, func(time.Time)) {
+		if !s.node.Modem.Attached() || len(s.pendingOutputs) == 0 {
+			return 0, nil
+		}
+		outs := s.pendingOutputs
+		s.pendingOutputs = nil
+		var total int64
+		for _, o := range outs {
+			total += int64(len(o.Output)) + 128
+		}
+		res := s.node.Modem.TryTransfer(now, total)
+		return res.Elapsed, func(done time.Time) {
+			if !res.Completed() {
+				s.pendingOutputs = outs // retry tomorrow
+				return
+			}
+			for _, o := range outs {
+				o.ReceivedAt = done
+				s.srv.ReportSpecialOutput(o)
+			}
+		}
+	}
+	s.getSpecialFn = func(now time.Time) (time.Duration, func(time.Time)) {
+		if !s.node.Modem.Attached() {
+			return 0, nil
+		}
+		res := s.node.Modem.TryTransfer(now, specialMsgBytes)
+		if !res.Completed() {
+			return res.Elapsed, func(time.Time) { s.commsFailed() }
+		}
+		sp, ok := s.srv.FetchSpecial(s.node.Name, now)
+		if !ok {
+			return res.Elapsed, nil
+		}
+		return res.Elapsed + specialExecTime, func(done time.Time) {
+			s.executeSpecial(sp, done)
+		}
+	}
+	s.earlySpecialFn = func(now time.Time) (time.Duration, func(time.Time)) {
+		s.node.MCU.SetRail(comms.GPRSRail, true)
+		d := s.node.Modem.AttachTime()
+		return d, func(attachDone time.Time) {
+			if err := s.node.Modem.Attach(attachDone); err != nil {
+				s.node.MCU.SetRail(comms.GPRSRail, false)
+				return
+			}
+			res := s.node.Modem.TryTransfer(attachDone, specialMsgBytes)
+			if res.Completed() {
+				if sp, ok := s.srv.FetchSpecial(s.node.Name, attachDone); ok {
+					s.executeSpecial(sp, attachDone)
+				}
+			}
+			s.node.Modem.Detach()
+			s.node.MCU.SetRail(comms.GPRSRail, false)
+		}
+	}
+
+	// --- Fig 4, step: "Stop" ---
+	s.finishFn = func(now time.Time) (time.Duration, func(time.Time)) {
+		return finishTime, func(done time.Time) {
+			s.finishRun(done, true)
+			m := s.node.MCU
+			m.CancelAlarm(s.wdID)
+			m.SetRail(comms.GPRSRail, false)
+			m.SetRail(gumstix.Rail, false)
+		}
+	}
+}
+
 // --- Fig 4, step: "Get sub-glacial probe data" (base stations only) ---
 
 func (s *Station) enqueueProbeJobs() {
 	if s.channel == nil || len(s.probes) == 0 {
 		return
 	}
+	if len(s.probeJobs) != len(s.probes) {
+		s.buildProbeJobs()
+	}
+	for _, pj := range s.probeJobs {
+		s.enqueueWork(pj.name, pj.work)
+	}
+}
+
+// buildProbeJobs caches one named work closure per probe: the cohort is
+// fixed at construction, so the per-probe fetch jobs need building only once.
+func (s *Station) buildProbeJobs() {
+	s.probeJobs = make([]probeJob, 0, len(s.probes))
 	for _, pr := range s.probes {
 		pr := pr
-		s.enqueueWork("probe-fetch-"+itoa(pr.ID()), func(now time.Time) (time.Duration, func(time.Time)) {
+		work := func(now time.Time) (time.Duration, func(time.Time)) {
 			if !pr.Alive(now) {
 				return 0, nil // vanished offline, like 3 of the 7 did
 			}
@@ -61,27 +222,13 @@ func (s *Station) enqueueProbeJobs() {
 					s.spool.Add(storage.KindProbeData, name, bytes, done)
 				}
 			}
-		})
+		}
+		s.probeJobs = append(s.probeJobs, probeJob{name: "probe-fetch-" + itoa(pr.ID()), work: work})
 	}
 }
 
-// --- Fig 4, step: "Get readings from MSP" + "Calculate local power state" ---
-
 func (s *Station) enqueueMCUReadings() {
-	s.enqueueWork("mcu-readings", func(now time.Time) (time.Duration, func(time.Time)) {
-		samples := s.node.MCU.DrainSamples()
-		local := s.state
-		if avg, ok := power.DailyAverage(samples); ok {
-			local = power.StateForVoltage(avg)
-		}
-		return mcuDrainTime, func(done time.Time) {
-			s.cur.LocalState = local
-			if len(samples) > 0 {
-				s.spool.Add(storage.KindHousekeeping, "housekeeping", int64(len(samples))*24, done)
-			}
-			s.continueAfterPowerState(done, local)
-		}
-	})
+	s.enqueueWork("mcu-readings", s.mcuReadingsFn)
 }
 
 // continueAfterPowerState queues the rest of the Fig 4 chain once the local
@@ -118,12 +265,12 @@ func (s *Station) continueAfterPowerState(now time.Time, local power.State) {
 // --- Fig 4, step: "Get GPS files" — strictly file by file (§VI) ---
 
 func (s *Station) enqueueGPSDrainOne() {
-	s.enqueueWork("gps-drain", s.gpsDrainWork)
+	s.enqueueWork("gps-drain", s.gpsDrainFn)
 }
 
 // continueGPSDrain chains the next file at the head of the queue.
 func (s *Station) continueGPSDrain() {
-	s.enqueueWorkFront("gps-drain", s.gpsDrainWork)
+	s.enqueueWorkFront("gps-drain", s.gpsDrainFn)
 }
 
 func (s *Station) gpsDrainWork(now time.Time) (time.Duration, func(time.Time)) {
@@ -155,78 +302,39 @@ func (s *Station) gpsDrainWork(now time.Time) (time.Duration, func(time.Time)) {
 // --- Fig 4, step: "Package data to be sent" ---
 
 func (s *Station) enqueuePackage() {
-	s.enqueueWork("package-data", func(now time.Time) (time.Duration, func(time.Time)) {
-		return packageTime, func(done time.Time) {
-			// §VI log-volume lesson: per-reading debug output adds up fast
-			// on the first contact in months.
-			logBytes := s.cfg.LogBaseBytes + s.cfg.LogPerReadingBytes*int64(s.cur.ProbeReadings)
-			s.spool.Add(storage.KindLog, "daily-log", logBytes, done)
-		}
-	})
+	s.enqueueWork("package-data", s.packageFn)
 }
 
 // --- Fig 4, comms: upload state → upload data → override → special ---
 
 func (s *Station) enqueueComms(local power.State) {
+	// The state-upload job reads this when it applies; the value cannot
+	// change between here and there (one session per daily run).
+	s.commsLocal = local
 	// Attach.
-	s.enqueueWork("gprs-attach", func(now time.Time) (time.Duration, func(time.Time)) {
-		s.node.MCU.SetRail(comms.GPRSRail, true)
-		return s.node.Modem.AttachTime(), func(done time.Time) {
-			if err := s.node.Modem.Attach(done); err != nil {
-				s.commsFailed()
-				return
-			}
-			s.cur.CommsOK = true
-		}
-	})
+	s.enqueueWork("gprs-attach", s.attachFn)
 	// "Upload power state" comes before the data so the peer station's
 	// override query later today can already see it.
-	s.enqueueTransfer("upload-state", stateMsgBytes, func(done time.Time) {
-		s.srv.UploadState(s.node.Name, local, done)
-	})
+	s.enqueueWork("upload-state", s.uploadStateFn)
 	// "Upload data": one spool item at a time; a failure leaves the rest
 	// spooled for tomorrow.
 	s.enqueueUploadOne()
 	// Pending special outputs ride along (they arrive a day after
 	// execution — the §VI 24/48 h feedback lag).
-	s.enqueueWork("upload-special-outputs", func(now time.Time) (time.Duration, func(time.Time)) {
-		if !s.node.Modem.Attached() || len(s.pendingOutputs) == 0 {
-			return 0, nil
-		}
-		outs := s.pendingOutputs
-		s.pendingOutputs = nil
-		var total int64
-		for _, o := range outs {
-			total += int64(len(o.Output)) + 128
-		}
-		res := s.node.Modem.TryTransfer(now, total)
-		return res.Elapsed, func(done time.Time) {
-			if !res.Completed() {
-				s.pendingOutputs = outs // retry tomorrow
-				return
-			}
-			for _, o := range outs {
-				o.ReceivedAt = done
-				s.srv.ReportSpecialOutput(o)
-			}
-		}
-	})
+	s.enqueueWork("upload-special-outputs", s.specialOutFn)
 	// "Get override power state".
-	s.enqueueTransfer("get-override", overrideMsgBytes, func(done time.Time) {
-		ov := s.srv.OverrideFor(s.node.Name, done)
-		s.cur.Override = ov
-		s.cur.OverrideFetched = true
-	})
+	s.enqueueWork("get-override", s.overrideFn)
 	// "Get special" + execute — the as-deployed tail position.
 	if !s.cfg.SpecialFirst {
 		s.enqueueSpecialFetch()
 	}
 }
 
-// enqueueTransfer moves a small control message over the modem and applies
-// fn on success.
-func (s *Station) enqueueTransfer(name string, bytes int64, fn func(done time.Time)) {
-	s.enqueueWork(name, func(now time.Time) (time.Duration, func(time.Time)) {
+// transferWork builds the work closure for a small control message over the
+// modem, applying fn on success. Called once per message kind at
+// construction.
+func (s *Station) transferWork(bytes int64, fn func(done time.Time)) workFn {
+	return func(now time.Time) (time.Duration, func(time.Time)) {
 		if !s.node.Modem.Attached() {
 			return 0, nil
 		}
@@ -238,13 +346,13 @@ func (s *Station) enqueueTransfer(name string, bytes int64, fn func(done time.Ti
 				s.commsFailed()
 			}
 		}
-	})
+	}
 }
 
 // enqueueUploadOne sends the oldest spool item, then chains itself at the
 // queue head while items, window and session allow.
 func (s *Station) enqueueUploadOne() {
-	s.enqueueWork("upload-data", s.uploadWork)
+	s.enqueueWork("upload-data", s.uploadFn)
 }
 
 func (s *Station) uploadWork(now time.Time) (time.Duration, func(time.Time)) {
@@ -270,51 +378,19 @@ func (s *Station) uploadWork(now time.Time) (time.Duration, func(time.Time)) {
 		_ = s.spool.MarkSent(item.ID)
 		s.cur.UploadedBytes += item.Bytes
 		s.cur.UploadedItems++
-		s.enqueueWorkFront("upload-data", s.uploadWork)
+		s.enqueueWorkFront("upload-data", s.uploadFn)
 	}
 }
 
 // enqueueSpecialFetch downloads and executes the next special command.
 func (s *Station) enqueueSpecialFetch() {
-	s.enqueueWork("get-special", func(now time.Time) (time.Duration, func(time.Time)) {
-		if !s.node.Modem.Attached() {
-			return 0, nil
-		}
-		res := s.node.Modem.TryTransfer(now, specialMsgBytes)
-		if !res.Completed() {
-			return res.Elapsed, func(time.Time) { s.commsFailed() }
-		}
-		sp, ok := s.srv.FetchSpecial(s.node.Name, now)
-		if !ok {
-			return res.Elapsed, nil
-		}
-		return res.Elapsed + specialExecTime, func(done time.Time) {
-			s.executeSpecial(sp, done)
-		}
-	})
+	s.enqueueWork("get-special", s.getSpecialFn)
 }
 
 // enqueueEarlySpecial is the §VI fix: a minimal comms session before any
 // transfer, so remote code can unblock a wedged station.
 func (s *Station) enqueueEarlySpecial() {
-	s.enqueueWork("early-special", func(now time.Time) (time.Duration, func(time.Time)) {
-		s.node.MCU.SetRail(comms.GPRSRail, true)
-		d := s.node.Modem.AttachTime()
-		return d, func(attachDone time.Time) {
-			if err := s.node.Modem.Attach(attachDone); err != nil {
-				s.node.MCU.SetRail(comms.GPRSRail, false)
-				return
-			}
-			res := s.node.Modem.TryTransfer(attachDone, specialMsgBytes)
-			if res.Completed() {
-				if sp, ok := s.srv.FetchSpecial(s.node.Name, attachDone); ok {
-					s.executeSpecial(sp, attachDone)
-				}
-			}
-			s.node.Modem.Detach()
-			s.node.MCU.SetRail(comms.GPRSRail, false)
-		}
-	})
+	s.enqueueWork("early-special", s.earlySpecialFn)
 }
 
 func (s *Station) commsFailed() {
@@ -329,15 +405,7 @@ func (s *Station) commsFailed() {
 // --- Fig 4, step: "Stop" ---
 
 func (s *Station) enqueueFinish() {
-	s.enqueueWork("finish", func(now time.Time) (time.Duration, func(time.Time)) {
-		return finishTime, func(done time.Time) {
-			s.finishRun(done, true)
-			m := s.node.MCU
-			m.CancelAlarm(s.wdID)
-			m.SetRail(comms.GPRSRail, false)
-			m.SetRail(gumstix.Rail, false)
-		}
-	})
+	s.enqueueWork("finish", s.finishFn)
 }
 
 // finishRun closes out the daily report and adopts the next power state.

@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/comms"
 	"repro/internal/core"
-	"repro/internal/hw/dgps"
 	"repro/internal/hw/gumstix"
 	"repro/internal/hw/mcu"
 	"repro/internal/power"
@@ -179,6 +178,42 @@ type Station struct {
 	rs232Health     float64
 	watchdogArmedAt time.Time
 	dayReadings     []probe.Reading
+
+	// Bound-once daily work (see initWork): the Fig 4 sequence enqueues the
+	// same jobs every simulated day, so their compute-at-start closures,
+	// alarm callbacks and method values are built a single time at
+	// construction instead of once per day (or per chained continuation).
+	dailyWakeFn    func(rtcNow time.Time)
+	watchdogFn     func(rtcNow time.Time)
+	gpsReadFn      func(rtcNow time.Time)
+	gpsOffFn       func(rtcNow time.Time)
+	mcuReadingsFn  workFn
+	gpsDrainFn     workFn
+	packageFn      workFn
+	attachFn       workFn
+	uploadStateFn  workFn
+	uploadFn       workFn
+	specialOutFn   workFn
+	overrideFn     workFn
+	getSpecialFn   workFn
+	earlySpecialFn workFn
+	finishFn       workFn
+	probeJobs      []probeJob
+	// commsLocal is the power state being reported in the current comms
+	// session (set when the session is queued, read when the state-upload
+	// job applies).
+	commsLocal power.State
+}
+
+// workFn is the compute-at-start job shape the station feeds the Gumstix:
+// run at job start, return the simulated duration, optionally a completion
+// function.
+type workFn = func(now time.Time) (time.Duration, func(now time.Time))
+
+// probeJob is a cached per-probe fetch job (name plus bound work closure).
+type probeJob struct {
+	name string
+	work workFn
 }
 
 // New builds a station runtime on a node. srv is the Southampton server
@@ -219,6 +254,7 @@ func New(node *core.Node, srv *server.Server, channel *comms.ProbeChannel, probe
 	}
 	s.specials = NewSpecialRegistry(s)
 	s.rec = recovery.New(node.MCU, node.GPS, s.afterRecovery)
+	s.initWork()
 
 	node.MCU.OnBoot(func(rtcNow time.Time, cold bool) {
 		// Warm boots mean the battery died and came back: §IV applies.
@@ -295,7 +331,7 @@ func (s *Station) afterRecovery(rtcNow time.Time) {
 func (s *Station) writeSchedule(rtcNow time.Time) {
 	m := s.node.MCU
 	wake := simenv.NextMidday(rtcNow)
-	m.AlarmAt(wake, "daily-wake", s.dailyWake)
+	m.AlarmAt(wake, "daily-wake", s.dailyWakeFn)
 	s.scheduleGPS(rtcNow)
 }
 
@@ -322,15 +358,7 @@ func (s *Station) scheduleGPS(rtcNow time.Time) {
 	}
 	for i := 0; i < n; i++ {
 		at := start.Add(time.Duration(i) * interval)
-		m.AlarmAt(at, "gps-reading", func(time.Time) {
-			if !m.Alive() {
-				return
-			}
-			m.SetRail(dgps.Rail, true)
-			m.AlarmAfter(dgps.ReadingDuration+30*time.Second, "gps-off", func(time.Time) {
-				m.SetRail(dgps.Rail, false)
-			})
-		})
+		m.AlarmAt(at, "gps-reading", s.gpsReadFn)
 	}
 }
 
@@ -347,20 +375,10 @@ func (s *Station) dailyWake(rtcNow time.Time) {
 	s.watchdogArmedAt = rtcNow
 
 	// Tomorrow's schedule first: resilience over elegance.
-	m.AlarmAt(simenv.NextMidday(rtcNow), "daily-wake", s.dailyWake)
+	m.AlarmAt(simenv.NextMidday(rtcNow), "daily-wake", s.dailyWakeFn)
 
 	// The §VI watchdog: no run may exceed two hours.
-	s.wdID = m.AlarmAfter(s.cfg.WatchdogLimit, "watchdog", func(at time.Time) {
-		if s.node.Host.Powered() {
-			s.stats.WatchdogTrips++
-			if s.cur != nil {
-				s.cur.WatchdogTripped = true
-				s.finishRun(at, false)
-			}
-			m.SetRail(gumstix.Rail, false)
-			m.SetRail(comms.GPRSRail, false)
-		}
-	})
+	s.wdID = m.AlarmAfter(s.cfg.WatchdogLimit, "watchdog", s.watchdogFn)
 
 	m.SetRail(gumstix.Rail, true)
 }
@@ -395,32 +413,16 @@ func (s *Station) remainingWindow(now time.Time) time.Duration {
 
 func (s *Station) host() *gumstix.Host { return s.node.Host }
 
-// enqueueWork wraps the compute-at-start pattern: work runs when the job
+// enqueueWork queues the compute-at-start pattern: work runs when the job
 // starts, returning the simulated duration it occupies; apply fires at
-// completion.
-func (s *Station) enqueueWork(name string, work func(now time.Time) (time.Duration, func(now time.Time))) {
-	s.host().Enqueue(s.workJob(name, work))
+// completion. The host handles the pattern natively (Job.Work), so no
+// wrapper closures are built here.
+func (s *Station) enqueueWork(name string, work workFn) {
+	s.host().Enqueue(gumstix.Job{Name: name, Work: work})
 }
 
 // enqueueWorkFront is enqueueWork at the head of the queue — for chained
 // continuations that must finish before later phases of the day run.
-func (s *Station) enqueueWorkFront(name string, work func(now time.Time) (time.Duration, func(now time.Time))) {
-	s.host().EnqueueFront(s.workJob(name, work))
-}
-
-func (s *Station) workJob(name string, work func(now time.Time) (time.Duration, func(now time.Time))) gumstix.Job {
-	var apply func(time.Time)
-	return gumstix.Job{
-		Name: name,
-		Duration: func(now time.Time) time.Duration {
-			d, fn := work(now)
-			apply = fn
-			return d
-		},
-		Run: func(now time.Time) {
-			if apply != nil {
-				apply(now)
-			}
-		},
-	}
+func (s *Station) enqueueWorkFront(name string, work workFn) {
+	s.host().EnqueueFront(gumstix.Job{Name: name, Work: work})
 }

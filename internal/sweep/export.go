@@ -62,14 +62,15 @@ func (s *Summary) WriteCellsCSV(w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
+	row := make([]string, 0, len(header))
 	for _, cr := range s.Cells {
 		c := cr.Cell
-		row := []string{
+		row = append(row[:0],
 			strconv.Itoa(c.Index), c.Scenario, strconv.FormatInt(c.Seed, 10),
 			strconv.Itoa(c.Stations), strconv.Itoa(c.Probes),
 			c.Weather, durationField(c.ProbeLifetime), c.Override,
 			strconv.Itoa(c.Days), cr.Err,
-		}
+		)
 		for _, name := range metrics {
 			if v, ok := cr.Metric(name); ok {
 				row = append(row, csvFloat(v))
@@ -94,9 +95,10 @@ func (s *Summary) WriteGroupsCSV(w io.Writer) error {
 		"override", "days", "cells", "errors", "metric", "n", "mean", "stddev", "ci95", "min", "max"}); err != nil {
 		return err
 	}
+	row := make([]string, 0, 16)
 	for _, gr := range s.Groups {
 		for _, st := range gr.Stats {
-			row := []string{
+			row = append(row[:0],
 				gr.Scenario, strconv.Itoa(gr.Stations), strconv.Itoa(gr.Probes),
 				gr.Weather, durationField(gr.ProbeLifetime),
 				gr.Override, strconv.Itoa(gr.Days),
@@ -104,7 +106,7 @@ func (s *Summary) WriteGroupsCSV(w io.Writer) error {
 				st.Name, strconv.Itoa(st.N),
 				csvFloat(st.Mean), csvFloat(st.Stddev), csvFloat(st.CI95),
 				csvFloat(st.Min), csvFloat(st.Max),
-			}
+			)
 			if err := cw.Write(row); err != nil {
 				return err
 			}
@@ -212,15 +214,22 @@ func cellToJSON(cr CellResult) cellJSON {
 		Weather: c.Weather, ProbeLifetime: durationField(c.ProbeLifetime),
 		Override: c.Override, Days: c.Days, Err: cr.Err,
 	}
-	for _, m := range cr.Metrics {
-		cj.Metrics = append(cj.Metrics, metricJSON{Name: m.Name, Value: finite(m.Value)})
+	if len(cr.Metrics) > 0 {
+		cj.Metrics = make([]metricJSON, 0, len(cr.Metrics))
+		for _, m := range cr.Metrics {
+			cj.Metrics = append(cj.Metrics, metricJSON{Name: m.Name, Value: finite(m.Value)})
+		}
 	}
 	for _, ser := range cr.Series {
 		if ser == nil {
 			continue
 		}
-		sj := seriesJSON{Name: ser.Name, Unit: ser.Unit, Points: []pointJSON{}}
-		for _, p := range ser.Points() {
+		// Exact-capacity points, iterated via PointAt so the series is not
+		// copied wholesale just to encode it. Points stays non-nil (empty
+		// series encode as [] rather than null).
+		sj := seriesJSON{Name: ser.Name, Unit: ser.Unit, Points: make([]pointJSON, 0, ser.Len())}
+		for i, n := 0, ser.Len(); i < n; i++ {
+			p := ser.PointAt(i)
 			sj.Points = append(sj.Points, pointJSON{T: p.T.UTC().Format(time.RFC3339), V: finite(p.V)})
 		}
 		cj.Series = append(cj.Series, sj)
@@ -238,8 +247,8 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 	doc := summaryJSON{
 		Fingerprint: s.Fingerprint,
 		TotalCells:  s.TotalCells,
-		Cells:       []cellJSON{},
-		Groups:      []groupJSON{},
+		Cells:       make([]cellJSON, 0, len(s.Cells)),
+		Groups:      make([]groupJSON, 0, len(s.Groups)),
 	}
 	for _, cr := range s.Cells {
 		doc.Cells = append(doc.Cells, cellToJSON(cr))
@@ -249,7 +258,7 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 			Scenario: gr.Scenario, Stations: gr.Stations, Probes: gr.Probes,
 			Weather: gr.Weather, ProbeLifetime: durationField(gr.ProbeLifetime),
 			Override: gr.Override, Days: gr.Days, N: gr.N, Errors: gr.Errors,
-			Stats: []statsJSON{},
+			Stats: make([]statsJSON, 0, len(gr.Stats)),
 		}
 		for _, st := range gr.Stats {
 			gj.Stats = append(gj.Stats, statsJSON{

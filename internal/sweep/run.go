@@ -111,7 +111,15 @@ func (r LocalRunner) runPool(g Grid, cells []Cell, results []CellResult, todo []
 	if workers > len(todo) {
 		workers = len(todo)
 	}
-	idx := make(chan int)
+	// Buffer the full index list so dispatch never blocks a worker: with an
+	// unbuffered channel each hand-off serializes on the dispatching
+	// goroutine, and a worker finishing a short cell waits on it instead of
+	// starting the next one.
+	idx := make(chan int, len(todo))
+	for _, i := range todo {
+		idx <- i
+	}
+	close(idx)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -122,10 +130,6 @@ func (r LocalRunner) runPool(g Grid, cells []Cell, results []CellResult, todo []
 			}
 		}()
 	}
-	for _, i := range todo {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 }
 
@@ -265,26 +269,34 @@ func (g Grid) runCell(c Cell) CellResult {
 		return cr
 	}
 	cr.Result = d.Result()
-	cr.Metrics = append(standardMetrics(cr.Result), extra...)
+	// One exact-capacity metrics slice per cell: the standard block plus
+	// whatever Drive and Observe contribute.
+	cr.Metrics = make([]Metric, 0, numStandardMetrics+len(extra))
+	cr.Metrics = appendStandardMetrics(cr.Metrics, cr.Result)
+	cr.Metrics = append(cr.Metrics, extra...)
 	if g.Observe != nil {
 		cr.Metrics = append(cr.Metrics, g.Observe(c, d)...)
 	}
 	return cr
 }
 
-// standardMetrics extracts the fleet-total metrics every cell reports.
-func standardMetrics(r deploy.Result) []Metric {
+// numStandardMetrics is the size of the fleet-total block
+// appendStandardMetrics emits.
+const numStandardMetrics = 10
+
+// appendStandardMetrics appends the fleet-total metrics every cell reports.
+func appendStandardMetrics(dst []Metric, r deploy.Result) []Metric {
 	f := r.Fleet
-	return []Metric{
-		{Name: "runs", Value: float64(f.Runs)},
-		{Name: "completed-runs", Value: float64(f.CompletedRuns)},
-		{Name: "watchdog-trips", Value: float64(f.WatchdogTrips)},
-		{Name: "comms-failures", Value: float64(f.CommsFailures)},
-		{Name: "specials", Value: float64(f.SpecialsExecuted)},
-		{Name: "recoveries", Value: float64(f.Recoveries)},
-		{Name: "probes-alive", Value: float64(f.ProbesAlive)},
-		{Name: "probe-readings", Value: float64(f.ProbeReadings)},
-		{Name: "mb-to-server", Value: float64(f.BytesToServer) / (1 << 20)},
-		{Name: "uploads", Value: float64(f.Uploads)},
-	}
+	return append(dst,
+		Metric{Name: "runs", Value: float64(f.Runs)},
+		Metric{Name: "completed-runs", Value: float64(f.CompletedRuns)},
+		Metric{Name: "watchdog-trips", Value: float64(f.WatchdogTrips)},
+		Metric{Name: "comms-failures", Value: float64(f.CommsFailures)},
+		Metric{Name: "specials", Value: float64(f.SpecialsExecuted)},
+		Metric{Name: "recoveries", Value: float64(f.Recoveries)},
+		Metric{Name: "probes-alive", Value: float64(f.ProbesAlive)},
+		Metric{Name: "probe-readings", Value: float64(f.ProbeReadings)},
+		Metric{Name: "mb-to-server", Value: float64(f.BytesToServer) / (1 << 20)},
+		Metric{Name: "uploads", Value: float64(f.Uploads)},
+	)
 }

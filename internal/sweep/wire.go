@@ -86,11 +86,15 @@ func cellFromJSON(cj cellJSON) (CellResult, error) {
 		},
 		Err: cj.Err,
 	}
-	for _, mj := range cj.Metrics {
-		cr.Metrics = append(cr.Metrics, Metric{Name: mj.Name, Value: fromFinite(mj.Value)})
+	if len(cj.Metrics) > 0 {
+		cr.Metrics = make([]Metric, 0, len(cj.Metrics))
+		for _, mj := range cj.Metrics {
+			cr.Metrics = append(cr.Metrics, Metric{Name: mj.Name, Value: fromFinite(mj.Value)})
+		}
 	}
 	for _, sj := range cj.Series {
 		ser := trace.NewSeries(sj.Name, sj.Unit)
+		ser.Reserve(len(sj.Points))
 		var prev time.Time
 		for k, pj := range sj.Points {
 			t, err := time.Parse(time.RFC3339, pj.T)

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simenv"
+)
+
+func newTestSim() *simenv.Simulator {
+	return simenv.NewAt(1, time.Date(2008, time.July, 1, 0, 0, 0, 0, time.UTC))
+}
+
+func runDays(sim *simenv.Simulator, days int) {
+	_ = sim.Run(sim.Now().Add(time.Duration(days) * 24 * time.Hour))
+}
+
+// TestSeriesAddAllocFree pins the sampler hot path: once a series has been
+// reserved to its horizon (SampleFor does this for campaign traces), Add
+// must not touch the heap.
+func TestSeriesAddAllocFree(t *testing.T) {
+	s := NewSeries("volts", "V")
+	s.Reserve(1024)
+	base := time.Unix(0, 0).UTC()
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		i++
+		s.Add(base.Add(time.Duration(i)*time.Second), float64(i))
+	})
+	if avg != 0 {
+		t.Fatalf("Series.Add allocates %.1f objects/op after Reserve, want 0", avg)
+	}
+}
+
+// TestReserveKeepsSamples verifies Reserve preserves already-recorded
+// samples and is a no-op when capacity is already sufficient.
+func TestReserveKeepsSamples(t *testing.T) {
+	s := NewSeries("x", "")
+	base := time.Unix(0, 0).UTC()
+	for i := 0; i < 3; i++ {
+		s.Add(base.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	s.Reserve(100)
+	if s.Len() != 3 {
+		t.Fatalf("Reserve dropped samples: len=%d, want 3", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if p := s.PointAt(i); p.V != float64(i) {
+			t.Fatalf("point %d: V=%v, want %v", i, p.V, float64(i))
+		}
+	}
+	if got := cap(s.points); got < 100 {
+		t.Fatalf("Reserve(100) left cap=%d", got)
+	}
+	s.Reserve(10) // smaller than cap: must not shrink or copy
+	if got := cap(s.points); got < 100 {
+		t.Fatalf("Reserve(10) shrank cap to %d", got)
+	}
+}
+
+// TestSampleForPreallocates checks the horizon-aware sampler records the
+// same series as Sample while never growing past its reserved capacity.
+func TestSampleForPreallocates(t *testing.T) {
+	simA := newTestSim()
+	serA, _ := Sample(simA, time.Hour, "v", "V", func(time.Time) float64 { return 1 })
+	simB := newTestSim()
+	serB, _ := SampleFor(simB, time.Hour, 24*time.Hour, "v", "V", func(time.Time) float64 { return 1 })
+
+	capBefore := cap(serB.points)
+	if capBefore < 24 {
+		t.Fatalf("SampleFor reserved only %d points for a 24-sample horizon", capBefore)
+	}
+	runDays(simA, 1)
+	runDays(simB, 1)
+	if serA.Len() != serB.Len() {
+		t.Fatalf("SampleFor recorded %d points, Sample recorded %d", serB.Len(), serA.Len())
+	}
+	if cap(serB.points) != capBefore {
+		t.Fatalf("SampleFor series grew from cap %d to %d during the run", capBefore, cap(serB.points))
+	}
+}

@@ -47,6 +47,19 @@ func (s *Series) Add(t time.Time, v float64) {
 	s.points = append(s.points, Point{T: t, V: v})
 }
 
+// Reserve grows the series' capacity to hold at least n total samples.
+// Callers that know the observation horizon (campaigns sampling every
+// interval for a fixed number of days) use this to avoid the append
+// doubling-and-copying churn on long runs.
+func (s *Series) Reserve(n int) {
+	if n <= cap(s.points) {
+		return
+	}
+	pts := make([]Point, len(s.points), n)
+	copy(pts, s.points)
+	s.points = pts
+}
+
 // Len returns the sample count.
 func (s *Series) Len() int { return len(s.points) }
 
@@ -56,6 +69,10 @@ func (s *Series) Points() []Point {
 	copy(out, s.points)
 	return out
 }
+
+// PointAt returns the i-th sample without copying the whole series; it is
+// the export encoders' iteration primitive.
+func (s *Series) PointAt(i int) Point { return s.points[i] }
 
 // MinMax returns the value range; ok is false for an empty series.
 func (s *Series) MinMax() (lo, hi float64, ok bool) {
@@ -97,7 +114,24 @@ func (s *Series) Window(from, to time.Time) *Series {
 // Stop the returned ticker to end sampling.
 func Sample(sim *simenv.Simulator, interval time.Duration, name, unit string,
 	fn func(now time.Time) float64) (*Series, *simenv.Ticker) {
+	return attachSampler(sim, interval, 0, name, unit, fn)
+}
+
+// SampleFor is Sample with a known observation horizon: the series'
+// capacity is preallocated for horizon/interval samples, so a campaign-long
+// trace never reallocates while the simulation runs.
+func SampleFor(sim *simenv.Simulator, interval, horizon time.Duration, name, unit string,
+	fn func(now time.Time) float64) (*Series, *simenv.Ticker) {
+	return attachSampler(sim, interval, horizon, name, unit, fn)
+}
+
+func attachSampler(sim *simenv.Simulator, interval, horizon time.Duration, name, unit string,
+	fn func(now time.Time) float64) (*Series, *simenv.Ticker) {
 	s := NewSeries(name, unit)
+	if horizon > 0 && interval > 0 {
+		// +2: the attach-time baseline plus the fencepost sample.
+		s.Reserve(int(horizon/interval) + 2)
+	}
 	s.Add(sim.Now(), fn(sim.Now()))
 	tk := sim.Every(sim.Now().Add(interval), interval, "trace."+name, func(now time.Time) {
 		s.Add(now, fn(now))

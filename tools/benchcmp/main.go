@@ -1,0 +1,151 @@
+// Benchcmp is the bench regression gate: it compares two BENCH_N.json
+// trajectory files (tools/benchjson output) and exits non-zero when any
+// benchmark present in both got slower or more allocation-hungry than the
+// configured ratios allow. Thresholds default generous, to absorb runner
+// noise — the gate exists to catch order-of-magnitude churn regressions,
+// not 5% jitter.
+//
+// Benchmarks present in only one file are reported but never fail the
+// gate: sub-benchmarks legitimately come and go (multi-worker sweeps are
+// skipped on 1-CPU runners, new scaling points get added).
+//
+// Usage:
+//
+//	benchcmp [-max-time-ratio 2.5] [-max-alloc-ratio 1.5] [-max-bytes-ratio 2.0] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// record mirrors the per-benchmark schema of tools/benchjson.
+type record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report mirrors the file schema of tools/benchjson; older files simply
+// lack the CPU fields and decode with zeros.
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+// breach is one threshold violation.
+type breach struct {
+	name   string
+	metric string
+	old    float64
+	new    float64
+	ratio  float64
+	limit  float64
+}
+
+func main() {
+	maxTime := flag.Float64("max-time-ratio", 2.5, "fail if new ns/op exceeds old by this factor")
+	maxAlloc := flag.Float64("max-alloc-ratio", 1.5, "fail if new allocs/op exceeds old by this factor")
+	maxBytes := flag.Float64("max-bytes-ratio", 2.0, "fail if new B/op exceeds old by this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [flags] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	breaches, lines := compare(oldRep, newRep, *maxTime, *maxAlloc, *maxBytes)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(breaches) > 0 {
+		fmt.Printf("\n%d regression(s) over threshold:\n", len(breaches))
+		for _, b := range breaches {
+			fmt.Printf("  %s %s: %.0f -> %.0f (%.2fx > %.2fx limit)\n",
+				b.name, b.metric, b.old, b.new, b.ratio, b.limit)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbench gate: OK")
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compare evaluates new against old, returning threshold breaches and the
+// human-readable comparison lines. Only benchmarks present in both files
+// gate; a metric that is zero in the old file cannot form a ratio and is
+// reported but never fails.
+func compare(oldRep, newRep report, maxTime, maxAlloc, maxBytes float64) ([]breach, []string) {
+	oldBy := make(map[string]record, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	var breaches []breach
+	var lines []string
+	if oldRep.GoVersion != newRep.GoVersion {
+		lines = append(lines, fmt.Sprintf("note: toolchain changed %s -> %s", oldRep.GoVersion, newRep.GoVersion))
+	}
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, nr := range newRep.Benchmarks {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("new only: %s (no baseline, not gated)", nr.Name))
+			continue
+		}
+		checks := []struct {
+			metric   string
+			old, new float64
+			limit    float64
+		}{
+			{"ns/op", or.NsPerOp, nr.NsPerOp, maxTime},
+			{"allocs/op", float64(or.AllocsPerOp), float64(nr.AllocsPerOp), maxAlloc},
+			{"B/op", float64(or.BytesPerOp), float64(nr.BytesPerOp), maxBytes},
+		}
+		for _, c := range checks {
+			if c.old <= 0 {
+				if c.new > 0 {
+					lines = append(lines, fmt.Sprintf("note: %s %s was 0, now %.0f (no ratio, not gated)", nr.Name, c.metric, c.new))
+				}
+				continue
+			}
+			ratio := c.new / c.old
+			lines = append(lines, fmt.Sprintf("%s %s: %.0f -> %.0f (%.2fx)", nr.Name, c.metric, c.old, c.new, ratio))
+			if ratio > c.limit {
+				breaches = append(breaches, breach{
+					name: nr.Name, metric: c.metric,
+					old: c.old, new: c.new, ratio: ratio, limit: c.limit,
+				})
+			}
+		}
+	}
+	for _, or := range oldRep.Benchmarks {
+		if !seen[or.Name] {
+			lines = append(lines, fmt.Sprintf("old only: %s (dropped or skipped on this runner, not gated)", or.Name))
+		}
+	}
+	return breaches, lines
+}

@@ -27,11 +27,15 @@ type Record struct {
 }
 
 // Report is the whole file: enough provenance to compare datapoints
-// honestly (a toolchain bump explains a shift as well as a code change).
+// honestly (a toolchain bump explains a shift as well as a code change,
+// and a flat worker-scaling curve is uninterpretable without knowing how
+// many CPUs the runner actually had).
 type Report struct {
 	GoVersion  string   `json:"go_version"`
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
 	Benchmarks []Record `json:"benchmarks"`
 }
 
@@ -58,6 +62,8 @@ func parse(r io.Reader) (Report, error) {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: []Record{},
 	}
 	sc := bufio.NewScanner(r)
