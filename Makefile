@@ -4,12 +4,12 @@
 # via tools/benchjson. Bump BENCH_N once per PR so the series of committed
 # files shows how the numbers move as the codebase grows.
 
-BENCH_N ?= 7
+BENCH_N ?= 8
 BENCH_PATTERN ?= BenchmarkFleetDay|BenchmarkSweep
 
-.PHONY: all build test vet bench bench-check
+.PHONY: all build test vet lint bench bench-check
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
@@ -19,6 +19,12 @@ test:
 
 vet:
 	go vet ./...
+
+# lint runs tools/glacvet, the repo's own static analysis suite: the
+# determinism, hotpath, wiretag and allow-hygiene checks (see DESIGN.md
+# §10). Nonzero exit on any finding.
+lint:
+	go run ./tools/glacvet ./internal/... ./cmd/... .
 
 bench:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 . > bench.out || (cat bench.out; rm -f bench.out; exit 1)

@@ -204,6 +204,7 @@ func (r *RemoteRunner) RunPlanned(g sweep.Grid, fp string, total int, cells []sw
 	var wg sync.WaitGroup
 	for _, addr := range r.Workers {
 		wg.Add(1)
+		//glacvet:allow goroutine one dispatch loop per worker; results are re-sorted into plan order before returning
 		go func(worker string) {
 			defer wg.Done()
 			defer func() {
@@ -231,6 +232,7 @@ func (r *RemoteRunner) RunPlanned(g sweep.Grid, fp string, total int, cells []sw
 						select {
 						case <-done:
 							return
+						//glacvet:allow wallclock hand-off pacing on the real network wire; never inside a simulation
 						case <-time.After(handoffDelay):
 						}
 						continue
@@ -255,6 +257,7 @@ func (r *RemoteRunner) RunPlanned(g sweep.Grid, fp string, total int, cells []sw
 						select {
 						case <-done:
 							return
+						//glacvet:allow wallclock 503-backpressure pacing on the real network wire; never inside a simulation
 						case <-time.After(busyDelay):
 						}
 						continue
@@ -291,6 +294,7 @@ func (r *RemoteRunner) RunPlanned(g sweep.Grid, fp string, total int, cells []sw
 						select {
 						case <-done:
 							return
+						//glacvet:allow wallclock retry backoff so a dead worker cannot race the healthy pool to the queue
 						case <-time.After(time.Duration(consecutive) * 100 * time.Millisecond):
 						}
 						continue

@@ -21,6 +21,8 @@ const WireVersion = 1
 // WeatherSpecJSON is one weather-axis value on the wire. weather.Config is
 // pure data (the whole climate derives from it and a clock), so it crosses
 // as-is.
+//
+//glacvet:wire
 type WeatherSpecJSON struct {
 	Name   string         `json:"name"`
 	Config weather.Config `json:"config"`
@@ -30,6 +32,8 @@ type WeatherSpecJSON struct {
 // Fingerprint hashes, with durations as strings so they round-trip exactly.
 // Overrides carry names only — Apply functions, like the Drive/Observe/
 // Collect hooks, are reattached on the worker from a registered hook set.
+//
+//glacvet:wire
 type GridSpec struct {
 	Scenarios      []string          `json:"scenarios"`
 	Seeds          []int64           `json:"seeds"`
@@ -89,6 +93,8 @@ func (s GridSpec) Grid() (sweep.Grid, error) {
 // coordinator's view of that plan; the worker recomputes both and refuses
 // the shard on any mismatch, so grid drift between binaries is an error,
 // never a silently different result.
+//
+//glacvet:wire
 type ShardRequest struct {
 	V           int      `json:"v"`
 	Fingerprint string   `json:"fingerprint"`

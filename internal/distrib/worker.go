@@ -60,6 +60,8 @@ type Worker struct {
 // worker's one-entry plan cache currently holds — the coordinator quotes
 // it when it retires a worker, so "retired after 3 failures" comes with
 // the worker's own account of its state.
+//
+//glacvet:wire
 type Health struct {
 	Status    string `json:"status"`
 	Active    int    `json:"active_shards"`

@@ -44,7 +44,7 @@ type Bus struct {
 	weather Sampler
 	cfg     BusConfig
 
-	loads      map[string]float64
+	loads      []loadEntry // sorted by name; deterministic iteration
 	consumedWh map[string]float64
 	lastUpdate time.Time
 	failed     bool
@@ -74,7 +74,6 @@ func NewBus(sim *simenv.Simulator, battery *Battery, chargers []Charger, sampler
 		battery:    battery,
 		weather:    sampler,
 		cfg:        cfg,
-		loads:      make(map[string]float64),
 		consumedWh: make(map[string]float64),
 		lastUpdate: sim.Now(),
 		chargers:   append([]Charger(nil), chargers...),
@@ -106,6 +105,23 @@ func (b *Bus) OnPowerFail(fn func(now time.Time)) { b.onFail = append(b.onFail, 
 // OnPowerRestore registers a callback fired once when a failed bus recovers.
 func (b *Bus) OnPowerRestore(fn func(now time.Time)) { b.onRestore = append(b.onRestore, fn) }
 
+// loadEntry is one named draw on the bus. Loads live in a name-sorted
+// slice rather than a map so every fold over them — the total draw, the
+// pro-rata energy attribution — runs in one fixed order: float addition
+// rounds differently under reordering, and map iteration order would
+// leak that into voltage traces and goldens.
+type loadEntry struct {
+	name  string
+	watts float64
+}
+
+// loadIndex returns the position of name in the sorted load list and
+// whether it is present.
+func (b *Bus) loadIndex(name string) (int, bool) {
+	i := sort.Search(len(b.loads), func(i int) bool { return b.loads[i].name >= name })
+	return i, i < len(b.loads) && b.loads[i].name == name
+}
+
 // SetLoad sets the instantaneous draw of a named load in watts. A zero
 // wattage removes the load. Setting a load while the bus is failed is
 // ignored — there is no power to supply it.
@@ -114,21 +130,34 @@ func (b *Bus) SetLoad(name string, watts float64) {
 	if b.failed {
 		return
 	}
-	if watts <= 0 {
-		delete(b.loads, name)
-		return
+	i, ok := b.loadIndex(name)
+	switch {
+	case watts <= 0:
+		if ok {
+			b.loads = append(b.loads[:i], b.loads[i+1:]...)
+		}
+	case ok:
+		b.loads[i].watts = watts
+	default:
+		b.loads = append(b.loads, loadEntry{})
+		copy(b.loads[i+1:], b.loads[i:])
+		b.loads[i] = loadEntry{name: name, watts: watts}
 	}
-	b.loads[name] = watts
 }
 
 // Load returns the current draw of a named load in watts.
-func (b *Bus) Load(name string) float64 { return b.loads[name] }
+func (b *Bus) Load(name string) float64 {
+	if i, ok := b.loadIndex(name); ok {
+		return b.loads[i].watts
+	}
+	return 0
+}
 
 // TotalLoadW returns the current total draw in watts.
 func (b *Bus) TotalLoadW() float64 {
 	var sum float64
-	for _, w := range b.loads {
-		sum += w
+	for _, l := range b.loads {
+		sum += l.watts
 	}
 	return sum
 }
@@ -148,11 +177,13 @@ func (b *Bus) VoltageNow() float64 {
 // ConsumedWh returns the lifetime energy attributed to a named load.
 func (b *Bus) ConsumedWh(name string) float64 { return b.consumedWh[name] }
 
-// TotalConsumedWh returns lifetime energy across all loads.
+// TotalConsumedWh returns lifetime energy across all loads. The fold
+// runs over the name-sorted ledger: summing the map directly would round
+// in iteration order, which is not deterministic.
 func (b *Bus) TotalConsumedWh() float64 {
 	var sum float64
-	for _, wh := range b.consumedWh {
-		sum += wh
+	for _, e := range b.Ledger() {
+		sum += e.ConsumedWh
 	}
 	return sum
 }
@@ -203,10 +234,10 @@ func (b *Bus) advance(now time.Time) {
 	}
 	delivered := b.battery.Transfer(loadW, chargeW, hours)
 
-	// Attribute delivered energy to loads pro rata.
+	// Attribute delivered energy to loads pro rata, in name order.
 	if loadW > 0 && delivered > 0 {
-		for name, w := range b.loads {
-			b.consumedWh[name] += delivered * (w / loadW)
+		for _, l := range b.loads {
+			b.consumedWh[l.name] += delivered * (l.watts / loadW)
 		}
 	}
 
@@ -215,7 +246,7 @@ func (b *Bus) advance(now time.Time) {
 	case !b.failed && (b.battery.Depleted() || rest < b.cfg.BrownoutVolts):
 		b.failed = true
 		b.failCount++
-		b.loads = make(map[string]float64) // everything loses power
+		b.loads = b.loads[:0] // everything loses power
 		for _, fn := range b.onFail {
 			fn(now)
 		}

@@ -122,6 +122,7 @@ func (u *Unit) Readings() uint64 { return u.readings }
 // OnReading registers a callback fired as each reading file is recorded.
 func (u *Unit) OnReading(fn func(f File)) { u.onReading = append(u.onReading, fn) }
 
+//glacvet:hotpath
 func (u *Unit) railChanged(on bool, now time.Time) {
 	if on == u.powered {
 		return
@@ -140,11 +141,13 @@ func (u *Unit) railChanged(on bool, now time.Time) {
 	}
 }
 
+//glacvet:hotpath
 func (u *Unit) startReading(now time.Time) {
 	u.reading = true
 	u.readEv = u.sim.After(ReadingDuration, u.readName, u.readFn)
 }
 
+//glacvet:hotpath
 func (u *Unit) readingDone(doneNow time.Time) {
 	if !u.powered {
 		return
@@ -154,6 +157,7 @@ func (u *Unit) readingDone(doneNow time.Time) {
 	u.startReading(doneNow) // continuous until switched off
 }
 
+//glacvet:hotpath
 func (u *Unit) recordFile(now time.Time) {
 	sats := 6 + int(simenv.HashNoise(u.salt, u.satsTag, u.nextID)*8) // 6..13 satellites
 	size := int(float64(BaseReadingBytes) * (0.70 + 0.04*float64(sats)))

@@ -149,6 +149,7 @@ func (h *Host) OnBoot(fn func(now time.Time)) { h.onBoot = append(h.onBoot, fn) 
 // OnHalt registers a callback fired each time power is removed.
 func (h *Host) OnHalt(fn func(now time.Time)) { h.onHalt = append(h.onHalt, fn) }
 
+//glacvet:hotpath
 func (h *Host) railChanged(on bool, now time.Time) {
 	if on == h.powered {
 		return
@@ -184,6 +185,7 @@ func (h *Host) railChanged(on bool, now time.Time) {
 	}
 }
 
+//glacvet:hotpath
 func (h *Host) bootDone(bootNow time.Time) {
 	if !h.powered || h.booted {
 		return
@@ -200,6 +202,8 @@ func (h *Host) bootDone(bootNow time.Time) {
 // boot; enqueueing on an unpowered host is a silent no-op (there is no OS to
 // receive the work), mirroring the real system where work is only submitted
 // by processes already running on the box.
+//
+//glacvet:hotpath
 func (h *Host) Enqueue(j Job) {
 	if !h.powered {
 		return
@@ -215,6 +219,8 @@ func (h *Host) Enqueue(j Job) {
 // already-queued work. Continuation jobs (drain the next file, upload the
 // next item) use this so a processing chain completes before later phases
 // of the daily sequence run.
+//
+//glacvet:hotpath
 func (h *Host) EnqueueFront(j Job) {
 	if !h.powered {
 		return
@@ -240,6 +246,7 @@ func (h *Host) Do(name string, d time.Duration, run func(now time.Time)) {
 	h.Enqueue(FixedJob(name, d, run))
 }
 
+//glacvet:hotpath
 func (h *Host) pump(now time.Time) {
 	if h.running || !h.booted || h.head >= len(h.queue) {
 		return
@@ -265,6 +272,7 @@ func (h *Host) pump(now time.Time) {
 	h.curEv = h.sim.After(d, h.jobEventName(j.Name), h.jobDoneFn)
 }
 
+//glacvet:hotpath
 func (h *Host) jobDone(doneNow time.Time) {
 	if !h.booted { // power vanished; abort path already handled
 		return
@@ -288,10 +296,13 @@ func (h *Host) jobDone(doneNow time.Time) {
 // jobEventName interns "<host>.job.<name>" — the daily sequence reuses a
 // small fixed set of job names, so the concatenation happens once per name
 // rather than once per job execution.
+//
+//glacvet:hotpath
 func (h *Host) jobEventName(name string) string {
 	if s, ok := h.jobNames[name]; ok {
 		return s
 	}
+	//glacvet:allow hotpath interning miss path: the concat runs once per distinct job name, not per execution
 	s := h.name + ".job." + name
 	h.jobNames[name] = s
 	return s

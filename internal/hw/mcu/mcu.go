@@ -219,6 +219,8 @@ func (m *MCU) loadName() string { return m.cfg.Name + ".sleep" }
 // --- RTC ---
 
 // Now returns the current RTC time, including crystal drift.
+//
+//glacvet:hotpath
 func (m *MCU) Now() time.Time {
 	if !m.alive {
 		return RTCEpoch
@@ -301,10 +303,13 @@ func (m *MCU) AlarmAt(rtc time.Time, name string, fn func(rtcNow time.Time)) Ala
 
 // alarmEventName interns "<mcu>.alarm.<name>": the schedule reuses a small
 // fixed set of alarm names every day.
+//
+//glacvet:hotpath
 func (m *MCU) alarmEventName(name string) string {
 	if s, ok := m.alarmNames[name]; ok {
 		return s
 	}
+	//glacvet:allow hotpath interning miss path: the concat runs once per distinct alarm name, not per arm
 	s := m.cfg.Name + ".alarm." + name
 	m.alarmNames[name] = s
 	return s
@@ -336,6 +341,7 @@ func (m *MCU) PendingAlarms() []string {
 	return names
 }
 
+//glacvet:hotpath
 func (m *MCU) armAlarm(a *alarm) {
 	// Convert RTC alarm time to wall time using the current anchoring.
 	wait := a.rtc.Sub(m.Now())
@@ -345,6 +351,7 @@ func (m *MCU) armAlarm(a *alarm) {
 	a.ev = m.sim.After(wait, a.evName, a.fireFn)
 }
 
+//glacvet:hotpath
 func (m *MCU) fireAlarm(a *alarm) {
 	if !m.alive {
 		return
@@ -375,12 +382,15 @@ func (m *MCU) OnRail(rail string, fn func(on bool, now time.Time)) {
 
 // SetRail switches a rail on or off. No-ops when the MCU is dead or the
 // state is unchanged.
+//
+//glacvet:hotpath
 func (m *MCU) SetRail(rail string, on bool) {
 	if !m.alive {
 		return
 	}
 	w, ok := m.rails[rail]
 	if !ok {
+		//glacvet:allow hotpath the Sprintf is on the panic path only; defined rails never reach it
 		panic(fmt.Sprintf("mcu: undefined rail %q", rail))
 	}
 	if m.railsOn[rail] == on {
@@ -402,6 +412,7 @@ func (m *MCU) RailOn(rail string) bool { return m.railsOn[rail] }
 
 // --- Housekeeping sampling ---
 
+//glacvet:hotpath
 func (m *MCU) takeSample(now time.Time) {
 	if !m.alive {
 		return

@@ -50,6 +50,8 @@ const entryMagic = "glacsweb-rescache"
 
 // Stats are the cache's monotonic counters, surfaced in campaign
 // manifests and CLI cache-stats lines.
+//
+//glacvet:wire
 type Stats struct {
 	// Hits counts Gets served from a verified entry.
 	Hits int64 `json:"hits"`

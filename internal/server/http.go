@@ -33,6 +33,7 @@ type Handler struct {
 
 // NewHandler wraps a Server for HTTP access.
 func NewHandler(srv *Server) *Handler {
+	//glacvet:allow wallclock nowFn is the injectable time source; real time is the live default, simulations override via SetClock
 	return &Handler{srv: srv, nowFn: time.Now}
 }
 

@@ -10,6 +10,12 @@ import (
 // must not touch the heap at all. A regression here multiplies by every
 // event of every cell of every campaign, so it fails the build rather than
 // waiting for the bench trajectory to notice.
+//
+// The same set of functions carries //glacvet:hotpath in simenv.go (At,
+// After, Cancel, Step, pushEvent, popEvent, allocSlot, freeSlot,
+// Ticker.tick, Rand): `make lint` rejects the allocation patterns
+// statically, these pins catch whatever slips past the lint at runtime.
+// Keep the two sets in sync.
 
 func TestScheduleStepAllocFree(t *testing.T) {
 	s := New(1)

@@ -75,6 +75,7 @@ func (q eventQueue) less(i, j int) bool {
 	return q[i].seq < q[j].seq
 }
 
+//glacvet:hotpath
 func (s *Simulator) pushEvent(ev event) {
 	s.queue = append(s.queue, ev)
 	q := s.queue
@@ -89,6 +90,7 @@ func (s *Simulator) pushEvent(ev event) {
 	}
 }
 
+//glacvet:hotpath
 func (s *Simulator) popEvent() event {
 	q := s.queue
 	ev := q[0]
@@ -203,6 +205,8 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // steady-state draws free of any lookup. Rand itself is cheap to call
 // repeatedly too: the stream table is copy-on-write, so lookups after the
 // first take no lock and hash nothing.
+//
+//glacvet:hotpath
 func (s *Simulator) Rand(name string) *rand.Rand {
 	if m := s.rngs.Load(); m != nil {
 		if r, ok := (*m)[name]; ok {
@@ -242,6 +246,8 @@ func (s *Simulator) OnEvent(fn func(name string, at time.Time)) {
 // events already queued for that time. Steady-state scheduling allocates
 // nothing: the event lives by value in the queue and its identity in a
 // recycled slot.
+//
+//glacvet:hotpath
 func (s *Simulator) At(at time.Time, name string, fn EventFunc) EventID {
 	if fn == nil {
 		panic("simenv: nil EventFunc")
@@ -255,6 +261,7 @@ func (s *Simulator) At(at time.Time, name string, fn EventFunc) EventID {
 	return id
 }
 
+//glacvet:hotpath
 func (s *Simulator) allocSlot() EventID {
 	var idx uint32
 	if n := len(s.freeSlots); n > 0 {
@@ -272,6 +279,8 @@ func (s *Simulator) allocSlot() EventID {
 // event had been cancelled. Advancing the generation invalidates any stale
 // EventID a component still holds, so slot reuse can never let an old
 // Cancel reach an unrelated new event.
+//
+//glacvet:hotpath
 func (s *Simulator) freeSlot(id EventID) (cancelled bool) {
 	idx := uint32(uint64(id)&0xFFFFFFFF) - 1
 	sl := &s.slots[idx]
@@ -284,6 +293,8 @@ func (s *Simulator) freeSlot(id EventID) (cancelled bool) {
 
 // After schedules fn to run d after the current simulated time. Negative
 // durations are treated as zero.
+//
+//glacvet:hotpath
 func (s *Simulator) After(d time.Duration, name string, fn EventFunc) EventID {
 	if d < 0 {
 		d = 0
@@ -307,6 +318,8 @@ func (s *Simulator) Every(start time.Time, period time.Duration, name string, fn
 // already ran (or was already cancelled, or was never issued) is a no-op:
 // the ID's generation no longer matches its slot, so nothing is marked and
 // nothing can leak — the slot table holds no residue for completed events.
+//
+//glacvet:hotpath
 func (s *Simulator) Cancel(id EventID) {
 	if sl := s.slotFor(id); sl != nil && sl.state == slotPending {
 		sl.state = slotCancelled
@@ -320,6 +333,8 @@ func (s *Simulator) Stop() { s.stopped = true }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
+//
+//glacvet:hotpath
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		ev := s.popEvent()
@@ -413,6 +428,7 @@ func (t *Ticker) Fires() uint64 { return t.fires }
 // Period returns the tick period.
 func (t *Ticker) Period() time.Duration { return t.period }
 
+//glacvet:hotpath
 func (t *Ticker) tick(now time.Time) {
 	if t.done {
 		return

@@ -319,6 +319,8 @@ func (s *Station) WiredProbe() *comms.WiredProbeLink { return s.wired }
 
 // afterRecovery is the §IV completion hook: restart in state 0 with a
 // fresh schedule.
+//
+//glacvet:hotpath
 func (s *Station) afterRecovery(rtcNow time.Time) {
 	s.state = power.State0
 	s.stats.Recoveries++
@@ -328,6 +330,8 @@ func (s *Station) afterRecovery(rtcNow time.Time) {
 // writeSchedule (re)writes the RAM schedule: the next midday wake and the
 // dGPS duty cycle for the current state. Everything here is lost on power
 // failure, exactly like the real MSP430.
+//
+//glacvet:hotpath
 func (s *Station) writeSchedule(rtcNow time.Time) {
 	m := s.node.MCU
 	wake := simenv.NextMidday(rtcNow)
@@ -338,6 +342,8 @@ func (s *Station) writeSchedule(rtcNow time.Time) {
 // scheduleGPS arms the next 24 h of dGPS readings per the current plan.
 // The microcontroller owns dGPS timing — "the execution of software on the
 // Gumstix does not cause drift in the timings of the dGPS".
+//
+//glacvet:hotpath
 func (s *Station) scheduleGPS(rtcNow time.Time) {
 	m := s.node.MCU
 	plan := power.PlanFor(s.state)
@@ -364,6 +370,8 @@ func (s *Station) scheduleGPS(rtcNow time.Time) {
 
 // dailyWake is the midday MCU alarm: power the Gumstix, arm the watchdog,
 // and schedule tomorrow's wake so a crashed run cannot lose the schedule.
+//
+//glacvet:hotpath
 func (s *Station) dailyWake(rtcNow time.Time) {
 	m := s.node.MCU
 	if !m.Alive() {
@@ -384,6 +392,8 @@ func (s *Station) dailyWake(rtcNow time.Time) {
 }
 
 // onGumstixBoot queues the Fig 4 daily sequence.
+//
+//glacvet:hotpath
 func (s *Station) onGumstixBoot(now time.Time) {
 	if s.cur == nil { // booted outside a daily run (tests/experiments)
 		return
@@ -417,12 +427,16 @@ func (s *Station) host() *gumstix.Host { return s.node.Host }
 // starts, returning the simulated duration it occupies; apply fires at
 // completion. The host handles the pattern natively (Job.Work), so no
 // wrapper closures are built here.
+//
+//glacvet:hotpath
 func (s *Station) enqueueWork(name string, work workFn) {
 	s.host().Enqueue(gumstix.Job{Name: name, Work: work})
 }
 
 // enqueueWorkFront is enqueueWork at the head of the queue — for chained
 // continuations that must finish before later phases of the day run.
+//
+//glacvet:hotpath
 func (s *Station) enqueueWorkFront(name string, work workFn) {
 	s.host().EnqueueFront(gumstix.Job{Name: name, Work: work})
 }

@@ -133,6 +133,8 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 // decodes (wire.go). Float fields are pointers so non-finite values encode
 // as null instead of erroring encoding/json out; axis durations are
 // time.Duration strings so they round-trip exactly.
+//
+//glacvet:wire
 type summaryJSON struct {
 	Fingerprint string      `json:"fingerprint,omitempty"`
 	TotalCells  int         `json:"total_cells,omitempty"`

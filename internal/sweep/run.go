@@ -123,6 +123,7 @@ func (r LocalRunner) runPool(g Grid, cells []Cell, results []CellResult, todo []
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//glacvet:allow goroutine runPool is the bounded worker pool; results land at fixed indices so output order is worker-count independent
 		go func() {
 			defer wg.Done()
 			for i := range idx {

@@ -17,7 +17,10 @@ func runDays(sim *simenv.Simulator, days int) {
 
 // TestSeriesAddAllocFree pins the sampler hot path: once a series has been
 // reserved to its horizon (SampleFor does this for campaign traces), Add
-// must not touch the heap.
+// must not touch the heap. Add, PointAt and SampleFor carry
+// //glacvet:hotpath in trace.go — `make lint` rejects allocation patterns
+// statically, this pin catches whatever slips past it at runtime. Keep the
+// two sets in sync.
 func TestSeriesAddAllocFree(t *testing.T) {
 	s := NewSeries("volts", "V")
 	s.Reserve(1024)

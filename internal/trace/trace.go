@@ -40,8 +40,11 @@ func NewSeries(name, unit string) *Series {
 }
 
 // Add appends a sample. Samples must arrive in nondecreasing time order.
+//
+//glacvet:hotpath
 func (s *Series) Add(t time.Time, v float64) {
 	if n := len(s.points); n > 0 && t.Before(s.points[n-1].T) {
+		//glacvet:allow hotpath the Sprintf is on the panic path only; a well-ordered run never reaches it
 		panic(fmt.Sprintf("trace: out-of-order sample for %s: %v after %v", s.Name, t, s.points[n-1].T))
 	}
 	s.points = append(s.points, Point{T: t, V: v})
@@ -72,6 +75,8 @@ func (s *Series) Points() []Point {
 
 // PointAt returns the i-th sample without copying the whole series; it is
 // the export encoders' iteration primitive.
+//
+//glacvet:hotpath
 func (s *Series) PointAt(i int) Point { return s.points[i] }
 
 // MinMax returns the value range; ok is false for an empty series.
@@ -120,6 +125,8 @@ func Sample(sim *simenv.Simulator, interval time.Duration, name, unit string,
 // SampleFor is Sample with a known observation horizon: the series'
 // capacity is preallocated for horizon/interval samples, so a campaign-long
 // trace never reallocates while the simulation runs.
+//
+//glacvet:hotpath
 func SampleFor(sim *simenv.Simulator, interval, horizon time.Duration, name, unit string,
 	fn func(now time.Time) float64) (*Series, *simenv.Ticker) {
 	return attachSampler(sim, interval, horizon, name, unit, fn)

@@ -39,17 +39,17 @@ type Conditions struct {
 // Config parameterises the climate model.
 type Config struct {
 	// Seed selects the stochastic texture (storm placement, cloud noise).
-	Seed int64
+	Seed int64 `json:"seed"`
 	// LatitudeDeg of the site; Vatnajökull is ~64.3°N.
-	LatitudeDeg float64
+	LatitudeDeg float64 `json:"latitude_deg"`
 	// PeakIrradiance is clear-sky summer midday irradiance, W/m².
-	PeakIrradiance float64
+	PeakIrradiance float64 `json:"peak_irradiance"`
 	// MeanWind is the annual mean wind speed, m/s.
-	MeanWind float64
+	MeanWind float64 `json:"mean_wind"`
 	// MaxSnowDepthM is the late-winter snow pack depth, metres.
-	MaxSnowDepthM float64
+	MaxSnowDepthM float64 `json:"max_snow_depth_m"`
 	// StormsPerMonth is the expected number of multi-day storms per month.
-	StormsPerMonth float64
+	StormsPerMonth float64 `json:"storms_per_month"`
 }
 
 // DefaultConfig returns values tuned for the Iceland deployment site.

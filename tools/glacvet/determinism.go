@@ -1,0 +1,300 @@
+// The determinism family: every property the byte-identical goldens,
+// worker-count independence and cache-key tests rely on reduces to "a
+// cell result is a pure function of its seed". Four checks guard the
+// ways that purity gets broken in practice:
+//
+//   - wallclock: any use of time.Now / Since / Sleep / After and friends
+//     ties behaviour to the host clock. Simulated code reads the simenv
+//     clock; infrastructure that legitimately needs real time (HTTP
+//     retry pacing, an injectable nowFn) carries a justified allow.
+//   - globalrand: package-level math/rand draws pull from one shared
+//     global stream, so adding a draw anywhere perturbs every trace.
+//     Randomness flows through named simenv.Rand streams instead.
+//   - goroutine: a go statement breaks the single simulation goroutine;
+//     only the sweep/distrib worker pools may launch them, each under an
+//     explicit allow.
+//   - maprange: Go map iteration order is deliberately random. Ranging
+//     over a map is fine for commutative folds (counters, set inserts,
+//     min/max), but appending to a slice, writing output, or folding
+//     floats/strings leaks the order into observable state unless the
+//     collected keys are sorted afterwards in the same function.
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wallclockFuncs are the time package functions that read or schedule
+// against the host clock. Conversions and constructors (Date, Unix,
+// ParseDuration, ...) are pure and stay legal.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// globalrandFuncs are the package-level math/rand (and v2) draw functions
+// backed by the shared global source. Constructors (New, NewSource,
+// NewPCG, NewChaCha8, NewZipf) build independent streams and stay legal —
+// simenv itself derives its named streams that way.
+var globalrandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+func (a *analysis) checkDeterminism(pd *pkgData) {
+	for _, file := range pd.files {
+		// Pre-collect every function body so a map range can find its
+		// innermost enclosing function by position containment (that
+		// bounds the search for a later sort of collected keys).
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+		enclosing := func(pos token.Pos) *ast.BlockStmt {
+			var best *ast.BlockStmt
+			for _, b := range bodies {
+				if b.Pos() <= pos && pos < b.End() &&
+					(best == nil || b.Pos() > best.Pos()) {
+					best = b
+				}
+			}
+			return best
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				a.checkForbiddenRef(pd, n)
+			case *ast.GoStmt:
+				a.report(a.fset.Position(n.Pos()), checkGoroutine,
+					"go statement escapes the single simulation goroutine "+
+						"(worker pools need //glacvet:allow goroutine <reason>)")
+			case *ast.RangeStmt:
+				a.checkMapRange(pd, n, enclosing(n.Pos()))
+			}
+			return true
+		})
+	}
+}
+
+// checkForbiddenRef flags references (calls or value uses — nowFn:
+// time.Now counts) to wall-clock time functions and global math/rand
+// draws.
+func (a *analysis) checkForbiddenRef(pd *pkgData, sel *ast.SelectorExpr) {
+	fn, ok := pd.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, time.Time.Sub) are fine
+	}
+	pos := a.fset.Position(sel.Pos())
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallclockFuncs[fn.Name()] {
+			a.reportf(pos, checkWallclock,
+				"time.%s reads the wall clock; simulated code must derive time from the simenv clock",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if globalrandFuncs[fn.Name()] {
+			a.reportf(pos, checkGlobalrand,
+				"package-level rand.%s draws from the shared global stream; use a named simenv Rand stream",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags order-sensitive map iteration. encl is the body of
+// the innermost function containing the range statement.
+func (a *analysis) checkMapRange(pd *pkgData, rng *ast.RangeStmt, encl *ast.BlockStmt) {
+	tv, ok := pd.info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Scan the body for order-sensitive effects.
+	var appendTargets []*types.Var // slices collected during iteration, in order
+	appendPos := map[*types.Var]token.Pos{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pd.info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" && len(n.Args) > 0 {
+					if v := localVarOf(pd, n.Args[0]); v != nil && v.Pos() < rng.Pos() {
+						if _, seen := appendPos[v]; !seen {
+							appendTargets = append(appendTargets, v)
+							appendPos[v] = n.Pos()
+						}
+					}
+					return true
+				}
+			}
+			if name, ok := outputCall(pd, n); ok {
+				a.reportf(a.fset.Position(n.Pos()), checkMaprange,
+					"%s writes output while iterating a map; iteration order leaks into the stream (sort keys first)",
+					name)
+			}
+		case *ast.AssignStmt:
+			a.checkMapRangeFold(pd, rng, n)
+		}
+		return true
+	})
+	// Collected slices are fine if every one of them is sorted after the
+	// loop in the same function — the collect-keys-then-sort idiom.
+	for _, v := range appendTargets {
+		if encl != nil && sortedAfter(pd, encl, v, rng.End()) {
+			continue
+		}
+		a.reportf(a.fset.Position(appendPos[v]), checkMaprange,
+			"appending to %q while iterating a map records the iteration order; sort %s after the loop or collect deterministically",
+			v.Name(), v.Name())
+	}
+}
+
+// checkMapRangeFold flags non-commutative folds in a map-range body:
+// string concatenation and floating-point accumulation both make the
+// result depend on iteration order (float rounding is order-sensitive,
+// which is exactly the kind of drift byte-identical goldens catch late).
+func (a *analysis) checkMapRangeFold(pd *pkgData, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 {
+		return
+	}
+	v := localVarOf(pd, as.Lhs[0])
+	if v == nil || v.Pos() >= rng.Pos() {
+		return // folding into a loop-local is per-iteration state
+	}
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	pos := a.fset.Position(as.Pos())
+	switch {
+	case basic.Info()&types.IsString != 0 && as.Tok == token.ADD_ASSIGN:
+		a.reportf(pos, checkMaprange,
+			"string concatenation onto %q inside map iteration depends on iteration order; sort keys first",
+			v.Name())
+	case basic.Info()&types.IsFloat != 0:
+		a.reportf(pos, checkMaprange,
+			"floating-point fold into %q inside map iteration is rounding-order sensitive; sort keys first",
+			v.Name())
+	}
+}
+
+// localVarOf resolves an expression to the non-field variable it names,
+// or nil (selector bases like s.queue and index expressions return nil —
+// the checks above only reason about plain local/package variables).
+func localVarOf(pd *pkgData, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pd.info.Uses[id]
+	if obj == nil {
+		obj = pd.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// outputCall recognizes calls that emit bytes somewhere order matters: the
+// fmt print family and Write/WriteString/WriteByte/WriteRune methods.
+func outputCall(pd *pkgData, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pd.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+				return "fmt." + fn.Name(), true
+			}
+		}
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether v is passed to a sort call (sort.Strings,
+// sort.Slice, slices.Sort, ...) lexically after pos inside body.
+func sortedAfter(pd *pkgData, body *ast.BlockStmt, v *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pd.info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Strings", "Ints", "Float64s", "Sort", "Stable", "Slice", "SliceStable":
+			default:
+				return true
+			}
+		case "slices":
+			switch fn.Name() {
+			case "Sort", "SortFunc", "SortStableFunc":
+			default:
+				return true
+			}
+		default:
+			return true
+		}
+		if localVarOf(pd, call.Args[0]) == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}

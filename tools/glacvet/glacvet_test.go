@@ -1,0 +1,90 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestFixtureDiagnostics runs the full analysis over the fixture module
+// under testdata/src and compares every diagnostic — order, position,
+// check name and message — against the golden transcript. The fixtures
+// cover all four check families plus the suppression hygiene rules
+// (unknown check, missing reason, stale allow, typo'd directive), and
+// each clean counterpart (sorted collect, presized append, justified
+// allow) proves the checks do not overreach.
+func TestFixtureDiagnostics(t *testing.T) {
+	modRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := runGlacvet(modRoot, "fixture", []string{"./..."})
+	if err != nil {
+		t.Fatalf("runGlacvet: %v", err)
+	}
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString(formatFinding(f, modRoot))
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "diagnostics.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics drifted from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestSuppressedChecks asserts the polarity of the fixture cases the
+// golden cannot express: specific lines that must NOT report.
+func TestSuppressedChecks(t *testing.T) {
+	modRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := runGlacvet(modRoot, "fixture", []string{"./..."})
+	if err != nil {
+		t.Fatalf("runGlacvet: %v", err)
+	}
+	byFile := map[string][]finding{}
+	for _, f := range findings {
+		rel, err := filepath.Rel(modRoot, f.pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byFile[filepath.ToSlash(rel)] = append(byFile[filepath.ToSlash(rel)], f)
+	}
+	// The justified allows must have suppressed their findings: no
+	// goroutine finding in det/det.go (Paced), no finding at all inside
+	// Good/Family/Guard, no maprange finding for the sorted collector.
+	for _, f := range byFile["det/det.go"] {
+		if f.check == checkGoroutine && f.pos.Line > 38 {
+			t.Errorf("Paced's justified goroutine was not suppressed: %+v", f)
+		}
+	}
+	for _, f := range byFile["det/maprange.go"] {
+		if f.pos.Line >= 21 && f.pos.Line <= 28 {
+			t.Errorf("SortedNames (collect-then-sort) reported: %+v", f)
+		}
+	}
+	for _, f := range byFile["hot/hot.go"] {
+		if strings.Contains(f.msg, "Presized") || strings.Contains(f.msg, "Pure") ||
+			strings.Contains(f.msg, "Cold") {
+			t.Errorf("clean hotpath case reported: %+v", f)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// The hotpath check turns the PR-7 allocation conventions into rules. A
+// function annotated //glacvet:hotpath is part of the zero-alloc
+// steady-state set pinned by the AllocsPerRun tests (simenv schedule/
+// pop/cancel, the hw event callbacks, trace sampling); inside one, the
+// four classic ways of re-introducing per-event heap churn are findings:
+//
+//   - fmt.Sprintf / fmt.Errorf (and Sprint/Sprintln/Appendf): every call
+//     allocates its result and boxes its operands;
+//   - non-constant string concatenation: allocates the joined string —
+//     interned-name tables exist for exactly this;
+//   - function literals that capture variables: each capture forces a
+//     closure allocation per call — callbacks must be bound once at
+//     construction instead;
+//   - append onto a slice that is provably un-presized in the same
+//     function (var s []T, s := []T{}, s := make([]T, n) with no
+//     capacity): steady-state growth belongs in a preallocated or
+//     reused buffer.
+//
+// The check is intraprocedural by design: a hot function calling a cold
+// allocating helper is caught by the AllocsPerRun pins, not the lint —
+// the two guard the same set from different sides.
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sprintFuncs are the fmt formatting functions that allocate their result.
+var sprintFuncs = map[string]bool{
+	"Sprintf": true, "Errorf": true, "Sprint": true, "Sprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func (a *analysis) checkHotpath(pd *pkgData) {
+	for _, file := range pd.files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			a.checkHotFunc(pd, fd)
+		}
+	}
+}
+
+func (a *analysis) checkHotFunc(pd *pkgData, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			a.checkHotCall(pd, name, n)
+		case *ast.BinaryExpr:
+			a.checkHotConcat(pd, name, n)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pd, n.Lhs[0]) {
+				a.reportf(a.fset.Position(n.Pos()), checkHotpath,
+					"string concatenation in hot path %s allocates per call; intern or preformat the value", name)
+			}
+		case *ast.FuncLit:
+			if cap := capturedVar(pd, n); cap != "" {
+				a.reportf(a.fset.Position(n.Pos()), checkHotpath,
+					"func literal in hot path %s captures %q and allocates a closure per call; bind it once at construction",
+					name, cap)
+			}
+		}
+		return true
+	})
+}
+
+func (a *analysis) checkHotCall(pd *pkgData, name string, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, ok := pd.info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || !sprintFuncs[fn.Name()] {
+			return
+		}
+		a.reportf(a.fset.Position(call.Pos()), checkHotpath,
+			"fmt.%s in hot path %s allocates per call; preformat or intern the string", fn.Name(), name)
+	case *ast.Ident:
+		if _, isBuiltin := pd.info.Uses[fun].(*types.Builtin); !isBuiltin || fun.Name != "append" || len(call.Args) == 0 {
+			return
+		}
+		v := localVarOf(pd, call.Args[0])
+		if v == nil {
+			return // fields and parameters carry reused steady-state buffers
+		}
+		if decl, form := unpresizedDecl(pd, v); decl != nil {
+			a.reportf(a.fset.Position(call.Pos()), checkHotpath,
+				"append grows %q, declared %s with no capacity, in hot path %s; presize it (make with cap)",
+				v.Name(), form, name)
+		}
+	}
+}
+
+// checkHotConcat flags non-constant string +. Only the leftmost ADD of a
+// chain reports, so "a" + b + "c" is one finding, not two.
+func (a *analysis) checkHotConcat(pd *pkgData, name string, be *ast.BinaryExpr) {
+	if be.Op != token.ADD || !isStringExpr(pd, be) {
+		return
+	}
+	if tv, ok := pd.info.Types[be]; ok && tv.Value != nil {
+		return // constant-folded at compile time
+	}
+	if x, ok := be.X.(*ast.BinaryExpr); ok && x.Op == token.ADD && isStringExpr(pd, x) {
+		return // inner ADD reports for the whole chain
+	}
+	a.reportf(a.fset.Position(be.Pos()), checkHotpath,
+		"string concatenation in hot path %s allocates per call; intern or preformat the value", name)
+}
+
+func isStringExpr(pd *pkgData, e ast.Expr) bool {
+	tv, ok := pd.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// capturedVar returns the name of a variable the literal captures from
+// its enclosing function, or "". Package-level variables and the
+// literal's own parameters/locals are not captures.
+func capturedVar(pd *pkgData, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pd.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable: no closure needed... almost;
+			// a literal touching only globals compiles to a static func value.
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own parameter or local
+		}
+		captured = v.Name()
+		return false
+	})
+	return captured
+}
+
+// unpresizedDecl finds v's declaration inside the same function and
+// reports whether it provably starts with zero usable capacity for
+// growth: `var x []T`, `x := []T{}`, or `x := make([]T, n)` without a
+// capacity argument. Any other initializer (3-arg make, a call result, a
+// slice expression) is assumed intentional.
+func unpresizedDecl(pd *pkgData, v *types.Var) (ast.Node, string) {
+	// Find the enclosing file, then search for the defining node.
+	var file *ast.File
+	for _, f := range pd.files {
+		if f.Pos() <= v.Pos() && v.Pos() < f.End() {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return nil, ""
+	}
+	var node ast.Node
+	form := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pd.info.Defs[id] != v {
+					continue
+				}
+				switch rhs := n.Rhs[i].(type) {
+				case *ast.CallExpr:
+					if fn, ok := rhs.Fun.(*ast.Ident); ok {
+						if _, isBuiltin := pd.info.Uses[fn].(*types.Builtin); isBuiltin && fn.Name == "make" && len(rhs.Args) == 2 {
+							node, form = n, "with make and no cap"
+						}
+					}
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						node, form = n, "as an empty literal"
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				if pd.info.Defs[id] == v && len(n.Values) == 0 {
+					node, form = n, "as a nil var"
+				}
+			}
+		}
+		return true
+	})
+	return node, form
+}

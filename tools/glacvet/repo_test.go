@@ -1,0 +1,31 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryIsClean runs glacvet over the real tree with exactly the
+// `make lint` arguments and requires zero findings: the landed tree obeys
+// its own invariants, every deliberate exception carries a justified
+// //glacvet:allow, and none of those allows has gone stale.
+func TestRepositoryIsClean(t *testing.T) {
+	modRoot, err := findModRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := modulePath(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := runGlacvet(modRoot, modPath, []string{"./internal/...", "./cmd/...", "."})
+	if err != nil {
+		t.Fatalf("runGlacvet: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", formatFinding(f, modRoot))
+	}
+	if len(findings) > 0 {
+		t.Errorf("the repository tree has %d glacvet finding(s); fix them or add a justified //glacvet:allow", len(findings))
+	}
+}

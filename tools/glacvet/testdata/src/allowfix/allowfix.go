@@ -1,0 +1,42 @@
+// Package allowfix exercises suppression hygiene: a well-formed allow
+// suppresses exactly one neighbouring finding; unknown checks, missing
+// reasons, stale allows and typo'd directives are all errors.
+package allowfix
+
+import "time"
+
+// Good carries a justified allow: the wallclock finding is suppressed.
+func Good() time.Time {
+	//glacvet:allow wallclock fixture: deliberate live timestamp
+	return time.Now()
+}
+
+// Unknown names a check that does not exist — an allow finding, and the
+// wallclock finding underneath still reports.
+func Unknown() time.Time {
+	//glacvet:allow notacheck fixture: misspelled check name
+	return time.Now()
+}
+
+// Bare gives no reason — an allow finding, and no suppression happens.
+func Bare() time.Time {
+	//glacvet:allow wallclock
+	return time.Now()
+}
+
+// Stale allows a finding that never occurs — itself an error.
+func Stale() int {
+	//glacvet:allow maprange fixture: nothing here iterates a map
+	return 1
+}
+
+// Family suppresses through the determinism alias: no finding.
+func Family() time.Time {
+	//glacvet:allow determinism fixture: family alias covers wallclock
+	return time.Now()
+}
+
+// Typo carries a directive glacvet does not define — an allow finding.
+//
+//glacvet:frobnicate
+func Typo() {}

@@ -1,0 +1,43 @@
+// Package det exercises the determinism family: wall-clock reads, global
+// rand draws and goroutine launches are findings; constructors and
+// justified uses are not.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly — a wallclock finding.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Backoff schedules against the host clock — a wallclock finding.
+func Backoff() {
+	<-time.After(time.Second)
+}
+
+// Clock stores a reference (not a call) to time.Now — still a finding.
+var Clock = time.Now
+
+// Jitter draws from the shared global stream — a globalrand finding.
+func Jitter() int {
+	return rand.Intn(10)
+}
+
+// Stream builds an independent source: constructors stay legal.
+func Stream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Launch breaks the single simulation goroutine — a goroutine finding.
+func Launch(fn func()) {
+	go fn()
+}
+
+// Paced launches a worker under an explicit justification: allowed.
+func Paced(fn func()) {
+	//glacvet:allow goroutine fixture: a justified worker pool launch
+	go fn()
+}

@@ -1,0 +1,62 @@
+// Map-iteration cases: collecting without a sort, writing output and
+// non-commutative folds are findings; the collect-then-sort idiom and
+// commutative folds are not.
+package det
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Names collects keys without sorting — a maprange finding.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedNames collects then sorts — the sanctioned idiom, no finding.
+func SortedNames(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump writes output mid-iteration — a maprange finding.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Total folds floats in iteration order — a maprange finding.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Join concatenates strings in iteration order — a maprange finding.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Count folds an integer counter — commutative, no finding.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

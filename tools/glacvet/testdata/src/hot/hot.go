@@ -1,0 +1,83 @@
+// Package hot exercises the hotpath allocation rules: formatting,
+// concatenation, capturing literals and un-presized growth are findings
+// inside annotated functions, and only there.
+package hot
+
+import "fmt"
+
+// Describe formats per call — a hotpath finding.
+//
+//glacvet:hotpath
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Label concatenates non-constant strings — a hotpath finding.
+//
+//glacvet:hotpath
+func Label(name string) string {
+	return "host." + name
+}
+
+// Accumulate concatenates via += — a hotpath finding.
+//
+//glacvet:hotpath
+func Accumulate(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+
+// Watch builds a capturing closure per call — a hotpath finding.
+//
+//glacvet:hotpath
+func Watch(n int) func() int {
+	return func() int { return n }
+}
+
+// Pure returns a literal that captures nothing: no finding.
+//
+//glacvet:hotpath
+func Pure() func(int) int {
+	return func(x int) int { return x * 2 }
+}
+
+// Grow appends onto an un-presized local — a hotpath finding.
+//
+//glacvet:hotpath
+func Grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Presized appends into a capacity-carrying buffer: no finding.
+//
+//glacvet:hotpath
+func Presized(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Guard formats only on the panic path, under an explicit allow.
+//
+//glacvet:hotpath
+func Guard(n int) int {
+	if n < 0 {
+		//glacvet:allow hotpath fixture: the Sprintf is on the panic path only
+		panic(fmt.Sprintf("negative %d", n))
+	}
+	return n
+}
+
+// Cold is unannotated: the same Sprintf is fine here.
+func Cold(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}

@@ -1,0 +1,10 @@
+// Package inner is pulled onto the wire transitively: fixture/wire's
+// Document carries a Payload, so Payload's fields are wire fields even
+// though Payload itself carries no marker.
+package inner
+
+// Payload rides inside wire.Document; Loose is a transitive finding.
+type Payload struct {
+	Kept  string `json:"kept"`
+	Loose float64
+}

@@ -1,0 +1,27 @@
+// Package wire exercises the wire-format tag guard: untagged exported
+// fields on a marked struct are findings, transitively through nested
+// module types; unexported fields and external types are the encoder's
+// business.
+package wire
+
+import "fixture/wire/inner"
+
+// Document is a wire root: Untagged is a finding, hidden is skipped.
+//
+//glacvet:wire
+type Document struct {
+	Tagged   string `json:"tagged"`
+	Untagged int
+	Nested   inner.Payload `json:"nested"`
+	hidden   int
+}
+
+// Alias is not a struct: the marker itself is a finding.
+//
+//glacvet:wire
+type Alias int
+
+// use keeps the otherwise-unreferenced unexported field honest.
+func (d Document) use() int { return d.hidden }
+
+var _ = Document.use
