@@ -53,7 +53,18 @@ type Bus struct {
 	onFail    []func(now time.Time)
 	onRestore []func(now time.Time)
 	chargers  []Charger
+	mains     []*MainsCharger // resolved once at NewBus; see chargeAt
 	ticker    *simenv.Ticker
+
+	// Same-instant charge memo: advance, VoltageNow and ChargeW all need
+	// the charger output at the current tick, and the weather sample plus
+	// charger fold behind it is the bus's dominant cost. Chargers are pure
+	// functions of (conditions, day), so the wattage for one timestamp is
+	// computed once and reused. Keyed on UnixNano: bus instants are the
+	// simulator clock, far inside the nano-representable era.
+	lastChargeNano  int64
+	lastChargeW     float64
+	lastChargeValid bool
 }
 
 // NewBus constructs and starts a bus. The bus immediately begins its
@@ -77,6 +88,13 @@ func NewBus(sim *simenv.Simulator, battery *Battery, chargers []Charger, sampler
 		consumedWh: make(map[string]float64),
 		lastUpdate: sim.Now(),
 		chargers:   append([]Charger(nil), chargers...),
+	}
+	// Resolve the seasonal mains chargers once: chargeAt used to rediscover
+	// them with a type-assert scan on every tick of every station.
+	for _, c := range b.chargers {
+		if mc, ok := c.(*MainsCharger); ok {
+			b.mains = append(b.mains, mc)
+		}
 	}
 	b.ticker = sim.Every(sim.Now().Add(cfg.Tick), cfg.Tick, "energy.tick", func(now time.Time) {
 		b.advance(now)
@@ -168,10 +186,12 @@ func (b *Bus) ChargeW() float64 {
 }
 
 // VoltageNow returns the terminal voltage under the present load and charge;
-// this is what the MSP430's ADC samples every 30 minutes.
+// this is what the MSP430's ADC samples every 30 minutes. The charge wattage
+// comes straight out of advance — the old shape re-sampled weather and
+// re-folded the chargers at an instant advance had just integrated.
 func (b *Bus) VoltageNow() float64 {
-	b.advance(b.sim.Now())
-	return b.battery.TerminalVoltage(b.TotalLoadW(), b.chargeAt(b.sim.Now()))
+	chargeW := b.advance(b.sim.Now())
+	return b.battery.TerminalVoltage(b.TotalLoadW(), chargeW)
 }
 
 // ConsumedWh returns the lifetime energy attributed to a named load.
@@ -204,25 +224,41 @@ type LedgerEntry struct {
 	ConsumedWh float64
 }
 
+// chargeAt computes the charger output at ts, memoized per distinct
+// timestamp (conditions and the mains season are pure in ts, so repeated
+// queries at one instant — the tick's integrate-then-read sequence, or a
+// thousand stations ticking at the same simulated moment — fold to one
+// weather sample and one charger scan).
+//
+//glacvet:hotpath
 func (b *Bus) chargeAt(ts time.Time) float64 {
 	if b.weather == nil || len(b.chargers) == 0 {
 		return 0
 	}
+	nano := ts.UnixNano()
+	if b.lastChargeValid && nano == b.lastChargeNano {
+		return b.lastChargeW
+	}
 	cond := b.weather.Sample(ts)
-	doy := simenv.DayOfYear(ts)
-	for _, c := range b.chargers {
-		if mc, ok := c.(*MainsCharger); ok {
+	if len(b.mains) > 0 {
+		doy := simenv.DayOfYear(ts)
+		for _, mc := range b.mains {
 			mc.SetDayOfYear(doy)
 		}
 	}
-	return CombinedOutputW(b.chargers, cond)
+	w := CombinedOutputW(b.chargers, cond)
+	b.lastChargeNano, b.lastChargeW, b.lastChargeValid = nano, w, true
+	return w
 }
 
-// advance integrates energy from lastUpdate to now.
-func (b *Bus) advance(now time.Time) {
+// advance integrates energy from lastUpdate to now and returns the charger
+// wattage at now, so callers that need it (VoltageNow) never re-derive it.
+//
+//glacvet:hotpath
+func (b *Bus) advance(now time.Time) float64 {
 	dt := now.Sub(b.lastUpdate)
 	if dt <= 0 {
-		return
+		return b.chargeAt(now) // already integrated to now; memo makes this a lookup
 	}
 	hours := dt.Hours()
 	b.lastUpdate = now
@@ -256,4 +292,5 @@ func (b *Bus) advance(now time.Time) {
 			fn(now)
 		}
 	}
+	return chargeW
 }

@@ -54,25 +54,39 @@ type EventFunc func(now time.Time)
 // can never affect an unrelated event that later reuses the slot.
 type EventID uint64
 
+// event is a heap element: the 24-byte ordering key plus the slot index
+// that holds the event's payload (time, callback, name). The payload lives
+// in the slot table, not the heap, because the sift loops move elements
+// O(log n) times each — at fleet scale, swapping an 80-byte struct with an
+// embedded time.Time was the kernel's single largest compute cost
+// (runtime.duffcopy + time.Time.Before dominated the CPU profile).
 type event struct {
-	at   time.Time
-	seq  uint64 // tie-break so same-time events run in schedule order
-	id   EventID
-	fn   EventFunc
-	name string
+	// atSec/atNsec are at.Unix()/at.Nanosecond(), precomputed once at
+	// schedule time. Two integer compares are several times cheaper than
+	// time.Time.Equal/Before (which unpack the wall/ext encoding per
+	// call). Unlike UnixNano they cannot overflow, so events centuries
+	// out (exponential probe lifetimes) still order correctly.
+	atSec  int64
+	seq    uint64 // tie-break so same-time events run in schedule order
+	atNsec int32
+	slot   uint32 // index into Simulator.slots holding the payload
 }
 
-// eventQueue is a binary min-heap of events ordered by (at, seq), stored by
-// value. The sift routines are hand-rolled instead of using container/heap:
-// the interface-based API would box every pushed event onto the heap, which
-// at fleet scale was the single largest allocation site in the simulator.
+// eventQueue is a binary min-heap of event keys ordered by (at, seq). The
+// sift routines are hand-rolled instead of using container/heap: the
+// interface-based API would box every pushed event onto the heap, which at
+// fleet scale was the single largest allocation site in the simulator.
 type eventQueue []event
 
 func (q eventQueue) less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+	a, b := &q[i], &q[j]
+	if a.atSec != b.atSec {
+		return a.atSec < b.atSec
 	}
-	return q[i].seq < q[j].seq
+	if a.atNsec != b.atNsec {
+		return a.atNsec < b.atNsec
+	}
+	return a.seq < b.seq
 }
 
 //glacvet:hotpath
@@ -96,7 +110,6 @@ func (s *Simulator) popEvent() event {
 	ev := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{} // drop the fn/name references so the GC can reclaim them
 	s.queue = q[:n]
 	q = s.queue
 	i := 0
@@ -127,7 +140,15 @@ const (
 	slotCancelled
 )
 
+// eventSlot carries an event's identity (generation + lifecycle state) and
+// its payload. Payload lives here rather than in the heap so heap elements
+// stay a compact fixed-size key; the fn/name references are dropped the
+// moment the slot is freed so the GC never sees residue from executed
+// events.
 type eventSlot struct {
+	at    time.Time
+	fn    EventFunc
+	name  string
 	gen   uint32
 	state uint8
 }
@@ -256,13 +277,22 @@ func (s *Simulator) At(at time.Time, name string, fn EventFunc) EventID {
 		at = s.now
 	}
 	s.seq++
-	id := s.allocSlot()
-	s.pushEvent(event{at: at, seq: s.seq, id: id, fn: fn, name: name})
+	idx, id := s.allocSlot()
+	sl := &s.slots[idx]
+	sl.at = at
+	sl.fn = fn
+	sl.name = name
+	s.pushEvent(event{
+		atSec:  at.Unix(),
+		atNsec: int32(at.Nanosecond()),
+		seq:    s.seq,
+		slot:   idx,
+	})
 	return id
 }
 
 //glacvet:hotpath
-func (s *Simulator) allocSlot() EventID {
+func (s *Simulator) allocSlot() (uint32, EventID) {
 	var idx uint32
 	if n := len(s.freeSlots); n > 0 {
 		idx = s.freeSlots[n-1]
@@ -272,21 +302,23 @@ func (s *Simulator) allocSlot() EventID {
 		idx = uint32(len(s.slots) - 1)
 	}
 	s.slots[idx].state = slotPending
-	return packID(idx, s.slots[idx].gen)
+	return idx, packID(idx, s.slots[idx].gen)
 }
 
 // freeSlot retires the slot behind a popped event and reports whether the
 // event had been cancelled. Advancing the generation invalidates any stale
 // EventID a component still holds, so slot reuse can never let an old
-// Cancel reach an unrelated new event.
+// Cancel reach an unrelated new event. The payload references are dropped
+// here so the GC can reclaim the callback and whatever it captured.
 //
 //glacvet:hotpath
-func (s *Simulator) freeSlot(id EventID) (cancelled bool) {
-	idx := uint32(uint64(id)&0xFFFFFFFF) - 1
+func (s *Simulator) freeSlot(idx uint32) (cancelled bool) {
 	sl := &s.slots[idx]
 	cancelled = sl.state == slotCancelled
 	sl.state = slotFree
 	sl.gen++
+	sl.fn = nil
+	sl.name = ""
 	s.freeSlots = append(s.freeSlots, idx)
 	return cancelled
 }
@@ -338,17 +370,19 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		ev := s.popEvent()
-		if s.freeSlot(ev.id) {
+		sl := &s.slots[ev.slot]
+		at, fn, name := sl.at, sl.fn, sl.name
+		if s.freeSlot(ev.slot) {
 			continue
 		}
-		if ev.at.After(s.now) {
-			s.now = ev.at
+		if at.After(s.now) {
+			s.now = at
 		}
 		for _, tr := range s.tracers {
-			tr(ev.name, s.now)
+			tr(name, s.now)
 		}
 		s.processed++
-		ev.fn(s.now)
+		fn(s.now)
 		return true
 	}
 	return false
@@ -368,8 +402,8 @@ func (s *Simulator) Run(until time.Time) error {
 	s.running = true
 	defer func() { s.running = false }()
 	for !s.stopped {
-		ev, ok := s.peek()
-		if !ok || ev.at.After(until) {
+		at, ok := s.peek()
+		if !ok || at.After(until) {
 			break
 		}
 		s.Step()
@@ -389,16 +423,18 @@ func (s *Simulator) RunFor(d time.Duration) error {
 	return s.Run(s.now.Add(d))
 }
 
-func (s *Simulator) peek() (event, bool) {
+// peek returns the time of the next live event, reaping any cancelled
+// events that have floated to the top of the heap.
+func (s *Simulator) peek() (time.Time, bool) {
 	for len(s.queue) > 0 {
-		id := s.queue[0].id
-		if sl := s.slotFor(id); sl != nil && sl.state == slotCancelled {
-			s.freeSlot(s.popEvent().id)
+		sl := &s.slots[s.queue[0].slot]
+		if sl.state == slotCancelled {
+			s.freeSlot(s.popEvent().slot)
 			continue
 		}
-		return s.queue[0], true
+		return sl.at, true
 	}
-	return event{}, false
+	return time.Time{}, false
 }
 
 // Ticker is a repeating event created by Every.

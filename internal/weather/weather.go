@@ -10,6 +10,17 @@
 // texture from hash noise keyed on the day number, so callers may sample any
 // instants in any order and always observe the same climate trace for a
 // given seed.
+//
+// Purity is observational, not structural: internally a Model memoizes the
+// per-day derived state (noise endpoints, solar declination products,
+// seasonal terms, the storm window) in a small day cache, plus the last
+// Conditions it returned, because the simulation samples the same day
+// hundreds of times and the same instant once per station. The memos hold
+// only values that are themselves pure functions of (config, time), so a
+// hit is bit-identical to a recomputation — TestSampleMatchesReference
+// pins that against an unmemoized reference over a full simulated year.
+// The memos make a Model single-goroutine: confine each Model to the
+// simulator it feeds, as every other simulated component already is.
 package weather
 
 import (
@@ -64,9 +75,65 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// Model is an immutable climate model; safe for concurrent use.
+// dayCacheSize is the number of per-day derived states a Model retains,
+// direct-mapped on the day index. Three entries cover the steady state —
+// today, plus room for a midnight transition and one out-of-band sampler
+// (a lagged probe, a report) — without any eviction bookkeeping that
+// could make cache behaviour depend on sampling order.
+const dayCacheSize = 3
+
+// dayState is everything Sample needs for one UTC day that does not vary
+// within the day: the noise endpoints the intra-day interpolations run
+// between, the solar declination products, the seasonal wind/temperature
+// terms, the snow depth and melt index, and the day's storm-window
+// decision. Every field is a pure function of (config, dayIdx), so a
+// cached state is indistinguishable from a recomputed one.
+type dayState struct {
+	valid  bool
+	dayIdx int
+
+	doy      int     // 1-based day of year for this unix day
+	dayMod15 float64 // position of this day inside its 15-day storm window
+
+	cloudA, cloudB float64 // cloud noise at day start / next day start
+	windA, windB   float64 // wind noise at day start / next day start
+	gust           float64 // storm gust noise (only set when stormOccurs)
+
+	snow float64 // snow depth, constant within a day
+	melt float64 // melt index, constant within a day
+
+	sinLatSinDecl float64 // sin(lat)·sin(decl) for this day
+	cosLatCosDecl float64 // cos(lat)·cos(decl) for this day
+
+	windSeasonal float64 // 1 + 0.35·cos(2π·doy/365.25)
+	tempSeasonal float64 // -8 + 10·sin(2π·(doy-110)/365.25)
+
+	stormOccurs          bool    // this day's 15-day window contains a storm
+	stormStart, stormEnd float64 // active range in day-in-window units
+}
+
+// Model is a climate model with immutable configuration and small internal
+// derived-state memos. Confine each Model to a single goroutine — in
+// practice the simulator goroutine that owns the deployment, which is how
+// every constructor in this repository already wires it.
 type Model struct {
 	cfg Config
+
+	// Latitude trig is independent of time; hoisted out of Sample.
+	sinLat, cosLat float64
+	// stormP is the clamped per-window storm probability.
+	stormP float64
+
+	// days is the direct-mapped per-day state cache (see dayState).
+	days [dayCacheSize]dayState
+
+	// Same-instant memo: callers sample identical timestamps repeatedly
+	// (every station's bus ticks at the same instants, and the MCU reads
+	// weather and then bus voltage at one instant), so the last returned
+	// Conditions short-circuits the whole derivation.
+	lastValid bool
+	lastNano  int64
+	lastCond  Conditions
 }
 
 // New constructs a Model. Zero fields in cfg are filled from DefaultConfig.
@@ -87,42 +154,141 @@ func New(cfg Config) *Model {
 	if cfg.StormsPerMonth == 0 {
 		cfg.StormsPerMonth = def.StormsPerMonth
 	}
-	return &Model{cfg: cfg}
+	lat := cfg.LatitudeDeg * math.Pi / 180
+	return &Model{
+		cfg:    cfg,
+		sinLat: math.Sin(lat),
+		cosLat: math.Cos(lat),
+		stormP: clamp(cfg.StormsPerMonth/2, 0, 1),
+	}
 }
 
 // Config returns the model's effective configuration.
 func (m *Model) Config() Config { return m.cfg }
 
-// Sample returns the conditions at time ts. It is deterministic in (cfg, ts).
+// Sample returns the conditions at time ts. It is deterministic in (cfg, ts):
+// the memos only ever hold values a cold computation would produce.
+//
+//glacvet:hotpath
 func (m *Model) Sample(ts time.Time) Conditions {
-	ts = ts.UTC()
-	doy := simenv.DayOfYear(ts)
-	hod := simenv.HourOfDay(ts)
-	storm := m.stormAt(ts)
+	nano := ts.UnixNano()
+	if m.lastValid && nano == m.lastNano {
+		return m.lastCond
+	}
 
-	cloud := m.cloudiness(ts)
+	day, hod := splitDay(ts)
+	st := m.dayStateFor(day)
+	frac := hod / 24
+
+	storm := st.stormOccurs &&
+		st.dayMod15+frac >= st.stormStart && st.dayMod15+frac < st.stormEnd
+
+	cloud := clamp(0.25+0.65*(st.cloudA*(1-frac)+st.cloudB*frac), 0, 1)
 	if storm {
 		cloud = 0.95
 	}
-	irr := m.clearSkyIrradiance(doy, hod) * (1 - 0.85*cloud)
 
-	snow := m.snowDepth(doy)
+	// Clear-sky irradiance from solar elevation. The asin/sin pair looks
+	// redundant around the cached declination products, but goldens pin
+	// the exact float sequence of the original SolarElevation-based path.
+	hourAngle := (hod - 12) / 24 * 2 * math.Pi
+	sinElev := st.sinLatSinDecl + st.cosLatCosDecl*math.Cos(hourAngle)
+	elev := math.Asin(clamp(sinElev, -1, 1))
+	var clearSky float64
+	if elev > 0 {
+		clearSky = m.cfg.PeakIrradiance * math.Sin(elev)
+	}
+	irr := clearSky * (1 - 0.85*cloud)
+
+	snow := st.snow
 	// Deep snow buries the solar panel (the paper: snow "would even stop"
 	// the wind source in Iceland; panels fare no better).
 	if snow > 1.5 {
 		irr *= math.Max(0, 1-(snow-1.5)) // linearly extinguished by 2.5 m
 	}
 
-	wind := m.windSpeed(ts, storm)
-	temp := m.temperature(doy, hod, storm)
+	// Weibull-ish wind: mean wind scaled by [0.2, 2.2] texture; winter is
+	// windier (the seasonal factor is cached per day).
+	base := st.windA*(1-frac) + st.windB*frac
+	wind := m.cfg.MeanWind * st.windSeasonal * (0.2 + 2.0*base)
+	if storm {
+		wind = math.Max(wind, 18+12*st.gust)
+	}
 
-	return Conditions{
+	temp := st.tempSeasonal + 2.5*math.Sin(2*math.Pi*(hod-9)/24)
+	if storm {
+		temp -= 3
+	}
+
+	cond := Conditions{
 		SolarIrradiance: irr,
 		WindSpeed:       wind,
 		AirTempC:        temp,
 		SnowDepthM:      snow,
-		MeltIndex:       m.MeltIndex(ts),
+		MeltIndex:       st.melt,
 		Storm:           storm,
+	}
+	m.lastNano, m.lastCond, m.lastValid = nano, cond, true
+	return cond
+}
+
+// dayStateFor returns the derived state for the given unix day, computing
+// and caching it on a miss. Direct mapping keeps lookup branch-free and
+// eviction deterministic: which states are resident depends only on the
+// day indices sampled, never on wall-clock or insertion order.
+//
+//glacvet:hotpath
+func (m *Model) dayStateFor(dayIdx int) *dayState {
+	slot := dayIdx % dayCacheSize
+	if slot < 0 {
+		slot += dayCacheSize
+	}
+	st := &m.days[slot]
+	if st.valid && st.dayIdx == dayIdx {
+		return st
+	}
+	m.deriveDay(st, dayIdx)
+	return st
+}
+
+// deriveDay fills st with the per-day derived state for dayIdx. This is the
+// slow path: it runs once per (model, day) in steady state — 5–8 HashNoise
+// calls and the per-day trig that Sample previously re-derived every tick.
+func (m *Model) deriveDay(st *dayState, dayIdx int) {
+	doy := time.Unix(int64(dayIdx)*86400, 0).UTC().YearDay()
+
+	st.valid = true
+	st.dayIdx = dayIdx
+	st.doy = doy
+	st.dayMod15 = float64(dayIdx % 15)
+
+	st.cloudA = m.noise("cloud", dayIdx)
+	st.cloudB = m.noise("cloud", dayIdx+1)
+	st.windA = m.noise("wind", dayIdx)
+	st.windB = m.noise("wind", dayIdx+1)
+
+	st.snow = snowDepthAt(m.cfg.MaxSnowDepthM, doy)
+	st.melt = meltIndexAt(float64(doy))
+
+	decl := -23.44 * math.Pi / 180 * math.Cos(2*math.Pi*(float64(doy)+10)/365.25)
+	st.sinLatSinDecl = m.sinLat * math.Sin(decl)
+	st.cosLatCosDecl = m.cosLat * math.Cos(decl)
+
+	st.windSeasonal = 1 + 0.35*math.Cos(2*math.Pi*float64(doy)/365.25)
+	st.tempSeasonal = -8 + 10*math.Sin(2*math.Pi*(float64(doy)-110)/365.25)
+
+	// Storms are placed deterministically: each ~15-day window contains a
+	// storm with probability StormsPerMonth/2, lasting 1-3 days. A window's
+	// storm never crosses into the next window (start < 12, length < 3), so
+	// the day's window decision is all Sample needs.
+	window := dayIdx / 15
+	st.stormOccurs = m.noise("storm-occur", window) < m.stormP
+	if st.stormOccurs {
+		st.stormStart = m.noise("storm-start", window) * 12 // day in window
+		st.stormEnd = st.stormStart + (1 + m.noise("storm-len", window)*2)
+		st.gust = m.noise("gust", dayIdx)
+	} else {
+		st.stormStart, st.stormEnd, st.gust = 0, 0, 0
 	}
 }
 
@@ -130,8 +296,16 @@ func (m *Model) Sample(ts time.Time) Conditions {
 // ramping up from early April (day ~95) to a summer plateau, declining
 // through autumn. This is the signal behind the paper's Fig 6 conductivity
 // rise "at the end of winter".
+//
+// MeltIndex computes directly rather than through the day cache: probes
+// query it at per-probe basal lags, and letting those scattered days evict
+// the states the per-tick Sample path lives on would cost more than this
+// small closed form.
 func (m *Model) MeltIndex(ts time.Time) float64 {
-	doy := float64(simenv.DayOfYear(ts.UTC()))
+	return meltIndexAt(float64(simenv.DayOfYear(ts.UTC())))
+}
+
+func meltIndexAt(doy float64) float64 {
 	const (
 		onset = 80.0  // late March
 		peak  = 190.0 // early July
@@ -149,15 +323,6 @@ func (m *Model) MeltIndex(ts time.Time) float64 {
 	}
 }
 
-// clearSkyIrradiance computes horizontal irradiance from solar elevation.
-func (m *Model) clearSkyIrradiance(doy int, hod float64) float64 {
-	elev := SolarElevation(m.cfg.LatitudeDeg, doy, hod)
-	if elev <= 0 {
-		return 0
-	}
-	return m.cfg.PeakIrradiance * math.Sin(elev)
-}
-
 // SolarElevation returns the solar elevation angle in radians for the given
 // latitude (degrees), day of year and hour of day (UTC ~ solar time at the
 // site's longitude, an adequate approximation for an energy model).
@@ -169,51 +334,15 @@ func SolarElevation(latDeg float64, doy int, hod float64) float64 {
 	return math.Asin(clamp(sinElev, -1, 1))
 }
 
-func (m *Model) cloudiness(ts time.Time) float64 {
-	day := dayIndex(ts)
-	a := m.noise("cloud", day)
-	b := m.noise("cloud", day+1)
-	frac := simenv.HourOfDay(ts) / 24
-	base := a*(1-frac) + b*frac
-	// Iceland is cloudy: bias towards overcast.
-	return clamp(0.25+0.65*base, 0, 1)
-}
-
-func (m *Model) windSpeed(ts time.Time, storm bool) float64 {
-	day := dayIndex(ts)
-	a := m.noise("wind", day)
-	b := m.noise("wind", day+1)
-	frac := simenv.HourOfDay(ts) / 24
-	base := a*(1-frac) + b*frac
-	// Weibull-ish: mean wind scaled by [0.2, 2.2] texture; winter is windier.
-	doy := simenv.DayOfYear(ts)
-	seasonal := 1 + 0.35*math.Cos(2*math.Pi*float64(doy)/365.25)
-	v := m.cfg.MeanWind * seasonal * (0.2 + 2.0*base)
-	if storm {
-		v = math.Max(v, 18+12*m.noise("gust", day))
-	}
-	return v
-}
-
-func (m *Model) temperature(doy int, hod float64, storm bool) float64 {
-	seasonal := -8 + 10*math.Sin(2*math.Pi*(float64(doy)-110)/365.25)
-	diurnal := 2.5 * math.Sin(2*math.Pi*(hod-9)/24)
-	t := seasonal + diurnal
-	if storm {
-		t -= 3
-	}
-	return t
-}
-
-// snowDepth models accumulation from October to April and melt May-September.
-func (m *Model) snowDepth(doy int) float64 {
+// snowDepthAt models accumulation from October to April and melt May-
+// September, as a fraction of the configured maximum depth.
+func snowDepthAt(max float64, doy int) float64 {
 	d := float64(doy)
 	const (
 		accumStart = 280.0 // early October
 		accumEnd   = 105.0 // mid April (next year)
 		meltEnd    = 200.0 // late July
 	)
-	max := m.cfg.MaxSnowDepthM
 	switch {
 	case d >= accumStart: // Oct-Dec: building
 		return max * (d - accumStart) / (365 - accumStart + accumEnd)
@@ -226,28 +355,27 @@ func (m *Model) snowDepth(doy int) float64 {
 	}
 }
 
-// stormAt reports whether a storm is active at ts. Storms are placed
-// deterministically: each ~15-day window contains a storm with probability
-// StormsPerMonth/2, lasting 1-3 days.
-func (m *Model) stormAt(ts time.Time) bool {
-	window := dayIndex(ts) / 15
-	p := clamp(m.cfg.StormsPerMonth/2, 0, 1)
-	if m.noise("storm-occur", window) >= p {
-		return false
-	}
-	startOffset := m.noise("storm-start", window) * 12 // day in window
-	length := 1 + m.noise("storm-len", window)*2       // 1-3 days
-	dayInWindow := float64(dayIndex(ts)%15) + simenv.HourOfDay(ts)/24
-	return dayInWindow >= startOffset && dayInWindow < startOffset+length
-}
-
 // noise returns a deterministic uniform [0,1) value keyed on (seed, tag, k).
 func (m *Model) noise(tag string, k int) float64 {
 	return simenv.HashNoise(m.cfg.Seed, tag, uint64(k))
 }
 
-func dayIndex(ts time.Time) int {
-	return int(ts.UTC().Unix() / 86400)
+// splitDay resolves ts to its unix day index and hour-of-day, the two
+// coordinates every per-sample term depends on. One integer division
+// replaces the three calendar-field lookups the hot path used to make;
+// the float construction matches simenv.HourOfDay bit for bit.
+func splitDay(ts time.Time) (day int, hod float64) {
+	secs := ts.Unix()
+	d := secs / 86400
+	rem := secs - d*86400
+	if rem < 0 { // pre-1970 instants: floor, not trunc
+		d--
+		rem += 86400
+	}
+	h := rem / 3600
+	min := rem % 3600 / 60
+	sec := rem % 60
+	return int(d), float64(h) + float64(min)/60 + float64(sec)/3600
 }
 
 func smoothstep(x float64) float64 {

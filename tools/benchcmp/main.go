@@ -9,9 +9,15 @@
 // gate: sub-benchmarks legitimately come and go (multi-worker sweeps are
 // skipped on 1-CPU runners, new scaling points get added).
 //
+// With -history, benchcmp instead takes the whole series of committed
+// trajectory files and prints a ns/op table — one row per benchmark, one
+// column per snapshot, with the last/first speedup — so the perf story
+// across PRs is readable at a glance in the bench-gate job log.
+//
 // Usage:
 //
 //	benchcmp [-max-time-ratio 2.5] [-max-alloc-ratio 1.5] [-max-bytes-ratio 2.0] OLD.json NEW.json
+//	benchcmp -history BENCH_6.json BENCH_7.json BENCH_8.json ...
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 )
 
 // record mirrors the per-benchmark schema of tools/benchjson.
@@ -52,7 +60,27 @@ func main() {
 	maxTime := flag.Float64("max-time-ratio", 2.5, "fail if new ns/op exceeds old by this factor")
 	maxAlloc := flag.Float64("max-alloc-ratio", 1.5, "fail if new allocs/op exceeds old by this factor")
 	maxBytes := flag.Float64("max-bytes-ratio", 2.0, "fail if new B/op exceeds old by this factor")
+	hist := flag.Bool("history", false, "print a ns/op trajectory table across all given trajectory files")
 	flag.Parse()
+	if *hist {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchcmp -history FILE.json FILE.json...")
+			os.Exit(2)
+		}
+		reps := make([]report, flag.NArg())
+		for i, path := range flag.Args() {
+			r, err := load(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+				os.Exit(2)
+			}
+			reps[i] = r
+		}
+		for _, l := range history(flag.Args(), reps) {
+			fmt.Println(l)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [flags] OLD.json NEW.json")
 		os.Exit(2)
@@ -80,6 +108,62 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nbench gate: OK")
+}
+
+// history renders the ns/op trajectory table: one row per benchmark in
+// first-appearance order, one column per snapshot file, and a final
+// last/first column (when both endpoints have the benchmark) showing the
+// cumulative speedup (>1 = faster now). Missing entries — sub-benchmarks
+// that did not exist yet, or were skipped on that runner — print as "-".
+func history(paths []string, reps []report) []string {
+	cols := make([]string, len(paths))
+	for i, p := range paths {
+		cols[i] = strings.TrimSuffix(filepath.Base(p), ".json")
+	}
+	var names []string
+	byFile := make([]map[string]record, len(reps))
+	seen := make(map[string]bool)
+	for i, r := range reps {
+		byFile[i] = make(map[string]record, len(r.Benchmarks))
+		for _, b := range r.Benchmarks {
+			byFile[i][b.Name] = b
+			if !seen[b.Name] {
+				seen[b.Name] = true
+				names = append(names, b.Name)
+			}
+		}
+	}
+	nameW := len("benchmark (ns/op)")
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	header := fmt.Sprintf("%-*s", nameW, "benchmark (ns/op)")
+	for _, c := range cols {
+		header += fmt.Sprintf("  %12s", c)
+	}
+	header += fmt.Sprintf("  %10s", "last/first")
+	lines := []string{header}
+	for _, n := range names {
+		row := fmt.Sprintf("%-*s", nameW, n)
+		for i := range reps {
+			if r, ok := byFile[i][n]; ok {
+				row += fmt.Sprintf("  %12.0f", r.NsPerOp)
+			} else {
+				row += fmt.Sprintf("  %12s", "-")
+			}
+		}
+		first, okF := byFile[0][n]
+		last, okL := byFile[len(reps)-1][n]
+		if okF && okL && last.NsPerOp > 0 {
+			row += fmt.Sprintf("  %9.2fx", first.NsPerOp/last.NsPerOp)
+		} else {
+			row += fmt.Sprintf("  %10s", "-")
+		}
+		lines = append(lines, row)
+	}
+	return lines
 }
 
 func load(path string) (report, error) {

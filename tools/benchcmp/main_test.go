@@ -80,3 +80,45 @@ func TestToolchainChangeNoted(t *testing.T) {
 		t.Fatalf("toolchain change not noted:\n%s", strings.Join(lines, "\n"))
 	}
 }
+
+func TestHistoryTable(t *testing.T) {
+	reps := []report{
+		rep(record{Name: "BenchmarkFleetDay/stations-1000", NsPerOp: 900}),
+		rep(
+			record{Name: "BenchmarkFleetDay/stations-1000", NsPerOp: 700},
+			record{Name: "BenchmarkSweep/workers-1", NsPerOp: 300},
+		),
+		rep(
+			record{Name: "BenchmarkFleetDay/stations-1000", NsPerOp: 450},
+			record{Name: "BenchmarkSweep/workers-1", NsPerOp: 310},
+		),
+	}
+	lines := history([]string{"x/BENCH_6.json", "BENCH_7.json", "BENCH_8.json"}, reps)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(lines[0], "BENCH_6") || !strings.Contains(lines[0], "BENCH_8") {
+		t.Fatalf("header missing snapshot columns:\n%s", joined)
+	}
+	if strings.Contains(lines[0], "x/BENCH_6") || strings.Contains(lines[0], ".json") {
+		t.Fatalf("column labels not basenames without extension:\n%s", joined)
+	}
+	var fleet, sweep string
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "BenchmarkFleetDay/stations-1000") {
+			fleet = l
+		}
+		if strings.HasPrefix(l, "BenchmarkSweep/workers-1") {
+			sweep = l
+		}
+	}
+	if fleet == "" || sweep == "" {
+		t.Fatalf("missing benchmark rows:\n%s", joined)
+	}
+	if !strings.Contains(fleet, "900") || !strings.Contains(fleet, "450") || !strings.Contains(fleet, "2.00x") {
+		t.Fatalf("fleet row must show trajectory 900..450 and 2.00x speedup:\n%s", fleet)
+	}
+	// Sweep is absent from the first snapshot: the cell prints "-" and no
+	// last/first ratio can be formed against a missing first endpoint.
+	if !strings.Contains(sweep, "-") || strings.Contains(sweep, "x") {
+		t.Fatalf("sweep row must carry a missing-entry dash and no ratio:\n%s", sweep)
+	}
+}
