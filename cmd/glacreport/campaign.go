@@ -8,7 +8,9 @@ import (
 	"path/filepath"
 
 	"repro/internal/campaign"
+	"repro/internal/deploy"
 	"repro/internal/distrib"
+	"repro/internal/evlog"
 	"repro/internal/rescache"
 	"repro/internal/sweep"
 )
@@ -76,7 +78,7 @@ type campaignManifestItem struct {
 // interrupted+resumed — the final artifacts are byte-identical, because
 // everything refolds through the same reducer.
 func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM int,
-	sharded bool, remote []string, resume bool, cache *rescache.DiskCache) error {
+	sharded bool, remote []string, resume bool, cache *rescache.DiskCache, recordDir string) error {
 	if seeds < 1 {
 		return usageErrorf("-seeds must be >= 1")
 	}
@@ -97,6 +99,11 @@ func runCampaign(dir string, seed int64, seeds, days, workers, shardI, shardM in
 			fmt.Fprintf(os.Stderr, "glacreport %s: custom driver fixes its own horizon; -days %d ignored\n", e.ID, days)
 		}
 		g := e.Grid(seed, seeds, days)
+		if recordDir != "" {
+			if err := attachCampaignRecorder(&g, recordDir, e.ID); err != nil {
+				return fmt.Errorf("campaign %s: %w", e.ID, err)
+			}
+		}
 		var sum *sweep.Summary
 		var err error
 		switch {
@@ -156,6 +163,47 @@ func campaignRunner(id string, workers int, remote []string, cache *rescache.Dis
 		Hooks:   campaign.HooksName(id),
 		Logf:    logStderr,
 	}
+}
+
+// attachCampaignRecorder sets the experiment's Grid.Record hook: each
+// cell's event log lands in recordDir/<exp-id>/cell-NNNN.evlog, named by
+// global plan index. The headers carry the experiment's hook-set name:
+// campaign cells run under Drive/Observe/Collect hooks that shape the
+// event stream, so the logs diff and byte-compare across runs but refuse
+// header-only replay (evlog.Rebuild cannot reconstruct the hooks).
+func attachCampaignRecorder(g *sweep.Grid, recordDir, id string) error {
+	plan, err := sweep.Plan(*g)
+	if err != nil {
+		return err
+	}
+	fingerprint := sweep.Fingerprint(*g, plan)
+	dir := filepath.Join(recordDir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create record dir: %w", err)
+	}
+	g.Record = func(c sweep.Cell, d *deploy.Deployment) (func() error, error) {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("cell-%04d.evlog", c.Index)))
+		if err != nil {
+			return nil, fmt.Errorf("create cell event log: %w", err)
+		}
+		w, err := evlog.NewWriter(f, evlog.Header{
+			Scenario: c.Scenario, Seed: c.Seed, Stations: c.Stations, Probes: c.Probes,
+			Days: c.Days, Fingerprint: fingerprint, Hooks: campaign.HooksName(id),
+		})
+		if err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		w.Attach(d.Sim)
+		return func() error {
+			werr := w.Close()
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		}, nil
+	}
+	return nil
 }
 
 // campaignChunk sizes the checkpoint granularity: big enough to keep a

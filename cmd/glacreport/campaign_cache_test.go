@@ -72,13 +72,13 @@ func TestCampaignWarmCacheIsByteIdenticalAndSimulatesNothing(t *testing.T) {
 	uncached, cold, warm := t.TempDir(), t.TempDir(), t.TempDir()
 	cacheDir := t.TempDir()
 
-	if err := runCampaign(uncached, 42, 2, 3, 0, 0, 1, false, nil, false, nil); err != nil {
+	if err := runCampaign(uncached, 42, 2, 3, 0, 0, 1, false, nil, false, nil, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCampaign(cold, 42, 2, 3, 0, 0, 1, false, nil, false, openTestCache(t, cacheDir)); err != nil {
+	if err := runCampaign(cold, 42, 2, 3, 0, 0, 1, false, nil, false, openTestCache(t, cacheDir), ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCampaign(warm, 42, 2, 3, 0, 0, 1, false, nil, false, openTestCache(t, cacheDir)); err != nil {
+	if err := runCampaign(warm, 42, 2, 3, 0, 0, 1, false, nil, false, openTestCache(t, cacheDir), ""); err != nil {
 		t.Fatal(err)
 	}
 	assertDirsIdenticalExceptManifest(t, uncached, cold)
@@ -125,7 +125,7 @@ func TestCampaignWarmCacheIsByteIdenticalAndSimulatesNothing(t *testing.T) {
 func TestCampaignSurvivesPoisonedCache(t *testing.T) {
 	ref, got := t.TempDir(), t.TempDir()
 	cacheDir := t.TempDir()
-	if err := runCampaign(ref, 42, 2, 3, 0, 0, 1, false, nil, false, openTestCache(t, cacheDir)); err != nil {
+	if err := runCampaign(ref, 42, 2, 3, 0, 0, 1, false, nil, false, openTestCache(t, cacheDir), ""); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := filepath.Glob(filepath.Join(cacheDir, "v*", "*", "*.cell"))
@@ -145,7 +145,7 @@ func TestCampaignSurvivesPoisonedCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := runCampaign(got, 42, 2, 3, 0, 0, 1, false, nil, false, openTestCache(t, cacheDir)); err != nil {
+	if err := runCampaign(got, 42, 2, 3, 0, 0, 1, false, nil, false, openTestCache(t, cacheDir), ""); err != nil {
 		t.Fatal(err)
 	}
 	assertDirsIdenticalExceptManifest(t, ref, got)

@@ -28,18 +28,22 @@ func TestCampaignModeFlagValidation(t *testing.T) {
 		resume  bool
 		cache   string
 		noCache bool
+		recDir  string
 		set     map[string]bool
 	}{
-		{"shard+remote", "0/2", "h:1", false, "", false, map[string]bool{"shard": true, "remote": true}},
-		{"shard+resume", "0/2", "", true, "", false, map[string]bool{"shard": true, "resume": true}},
-		{"workers+remote", "", "h:1", false, "", false, map[string]bool{"workers": true, "remote": true}},
-		{"empty remote list", "", " , ", false, "", false, map[string]bool{"remote": true}},
-		{"duplicate workers", "", "h:1,h:1/", false, "", false, map[string]bool{"remote": true}},
-		{"cache+remote", "", "h:1", false, "/tmp/c", false, map[string]bool{"cache": true, "remote": true}},
-		{"cache+no-cache", "", "", false, "/tmp/c", true, map[string]bool{"cache": true, "no-cache": true}},
+		{"shard+remote", "0/2", "h:1", false, "", false, "", map[string]bool{"shard": true, "remote": true}},
+		{"shard+resume", "0/2", "", true, "", false, "", map[string]bool{"shard": true, "resume": true}},
+		{"workers+remote", "", "h:1", false, "", false, "", map[string]bool{"workers": true, "remote": true}},
+		{"empty remote list", "", " , ", false, "", false, "", map[string]bool{"remote": true}},
+		{"duplicate workers", "", "h:1,h:1/", false, "", false, "", map[string]bool{"remote": true}},
+		{"cache+remote", "", "h:1", false, "/tmp/c", false, "", map[string]bool{"cache": true, "remote": true}},
+		{"cache+no-cache", "", "", false, "/tmp/c", true, "", map[string]bool{"cache": true, "no-cache": true}},
+		{"record-dir+remote", "", "h:1", false, "", false, "/tmp/r", map[string]bool{"remote": true, "record-dir": true}},
+		{"record-dir+resume", "", "", true, "", false, "/tmp/r", map[string]bool{"resume": true, "record-dir": true}},
+		{"record-dir+cache", "", "", false, "/tmp/c", false, "/tmp/r", map[string]bool{"cache": true, "record-dir": true}},
 	}
 	for _, c := range cases {
-		err := runCampaignMode(t.TempDir(), 1, 1, 0, 0, c.shard, false, c.remote, c.resume, c.cache, c.noCache, 0, c.set, nil)
+		err := runCampaignMode(t.TempDir(), 1, 1, 0, 0, c.shard, false, c.remote, c.resume, c.cache, c.noCache, 0, c.recDir, c.set, nil)
 		if err == nil {
 			t.Errorf("%s: accepted", c.name)
 			continue

@@ -24,6 +24,14 @@
 // partial <id>.json artifacts plus a merge-aware manifest; -campaign
 // -merge folds shard directories back into the full artifact set, byte
 // for byte identical to an unsharded campaign run.
+//
+// -record-dir DIR additionally records every cell's full event stream as
+// DIR/<exp-id>/cell-NNNN.evlog (DESIGN.md §12) — byte-identical for any
+// -workers value, diffable with `glacsim -evdiff`. Campaign logs carry
+// their experiment's hook-set name, so `glacsim -replay` refuses them
+// (the hooks that shaped the run cannot be rebuilt from a header);
+// record a plain grid with `glacsim -sweep -record-dir` for replayable
+// cell logs.
 package main
 
 import (
@@ -39,7 +47,7 @@ import (
 )
 
 const usageLine = "usage: glacreport [-exp IDs] | " +
-	"-campaign [-dir DIR] [-seeds N] [-days N] [-workers W] [-shard i/m] [-remote HOST:PORT,...] [-resume] [-cache DIR|-no-cache] | " +
+	"-campaign [-dir DIR] [-seeds N] [-days N] [-workers W] [-shard i/m] [-remote HOST:PORT,...] [-resume] [-cache DIR|-no-cache] [-record-dir DIR] | " +
 	"-campaign -merge [-dir DIR] SHARDDIR..."
 
 // usageErrorf marks a bad flag combination: main prints the usage line
@@ -73,6 +81,7 @@ func main() {
 		cacheDir  = flag.String("cache", "", "campaign: result cache directory (default $"+cliutil.CacheEnv+"): serve already-simulated cells from disk")
 		noCache   = flag.Bool("no-cache", false, "campaign: ignore $"+cliutil.CacheEnv+" and simulate every cell")
 		cacheMB   = flag.Int("cache-max-mb", 0, "campaign: result cache size bound in MiB, LRU-evicted (0 = unbounded)")
+		recDir    = flag.String("record-dir", "", "campaign: record each cell's event log into DIR/<exp-id>/cell-NNNN.evlog (implies -no-cache)")
 	)
 	flag.Parse()
 	set := map[string]bool{}
@@ -80,7 +89,7 @@ func main() {
 
 	if *campaign {
 		if err := runCampaignMode(*dir, *seed, *seeds, *days, *workers, *shard, *mergeFlag,
-			*remote, *resume, *cacheDir, *noCache, *cacheMB, set, flag.Args()); err != nil {
+			*remote, *resume, *cacheDir, *noCache, *cacheMB, *recDir, set, flag.Args()); err != nil {
 			fail("glacreport -campaign", err)
 		}
 		return
@@ -88,7 +97,7 @@ func main() {
 	// Campaign-only flags are a misuse without -campaign — fail loudly
 	// instead of silently running the default table experiments.
 	for _, name := range []string{"dir", "seeds", "days", "workers", "shard", "merge", "remote", "resume",
-		"cache", "no-cache", "cache-max-mb"} {
+		"cache", "no-cache", "cache-max-mb", "record-dir"} {
 		if set[name] {
 			fail("glacreport", usageErrorf("-%s configures the sweep campaign; use it with -campaign", name))
 		}
@@ -155,7 +164,7 @@ func main() {
 // to the run, shard-run, remote/resume or merge path.
 func runCampaignMode(dir string, seed int64, seeds, days, workers int,
 	shard string, merge bool, remote string, resume bool,
-	cacheDir string, noCache bool, cacheMB int, set map[string]bool, args []string) error {
+	cacheDir string, noCache bool, cacheMB int, recordDir string, set map[string]bool, args []string) error {
 	if merge {
 		if set["shard"] {
 			return usageErrorf("-shard and -merge are exclusive: shards are produced first, merged after")
@@ -180,6 +189,20 @@ func runCampaignMode(dir string, seed int64, seeds, days, workers int,
 	}
 	if set["workers"] && len(workerList) > 0 {
 		return usageErrorf("-workers sizes the in-process pool; with -remote the workers size their own")
+	}
+	if recordDir != "" {
+		if len(workerList) > 0 {
+			return usageErrorf("-record-dir records local execution; it cannot reach -remote workers")
+		}
+		if resume {
+			return usageErrorf("-record-dir needs every cell simulated; a -resume campaign skips checkpointed cells")
+		}
+		if set["cache"] {
+			return usageErrorf("-record-dir needs every cell simulated; it cannot combine with -cache")
+		}
+		// A cache hit serves a cell without simulating it — no events, no
+		// log — so a recording campaign bypasses the environment cache too.
+		noCache = true
 	}
 	shardI, shardM, err := sweep.ParseShardSpec(shard)
 	if err != nil {
@@ -209,7 +232,7 @@ func runCampaignMode(dir string, seed int64, seeds, days, workers int,
 	// set["shard"] rather than shardM > 1: an explicit -shard 0/1 is still
 	// a shard campaign (partial JSON + merge-aware manifest), so scripts
 	// parameterised over the shard count work at m=1 too.
-	return runCampaign(dir, seed, seeds, days, workers, shardI, shardM, set["shard"], workerList, resume, cache)
+	return runCampaign(dir, seed, seeds, days, workers, shardI, shardM, set["shard"], workerList, resume, cache, recordDir)
 }
 
 func rule() string { return strings.Repeat("=", 78) }

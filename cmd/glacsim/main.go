@@ -40,6 +40,17 @@
 // warm one shared cache. Entries are verified on read — content digest,
 // plan fingerprint, format version — so a hit is byte-identical to a
 // fresh simulation or it is re-simulated.
+//
+// Event record/replay (DESIGN.md §12): `-record FILE` writes the run's
+// full executed-event stream as a compact, digest-chained event log;
+// `-replay FILE` rebuilds the run from the log's header, re-executes it
+// and verifies step-for-step equivalence, failing with the exact event
+// index, name and simulated instant of the first divergence; `-evdiff A
+// B` compares two logs and reports their first divergent event with
+// context. With -sweep, `-record-dir DIR` records every cell's log as
+// DIR/cell-NNNN.evlog (named by global plan index), byte-identical for
+// any -workers value — the event-level sharpening of the summary
+// determinism guarantee.
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 	"net"
 	"net/url"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -56,6 +68,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/deploy"
 	"repro/internal/distrib"
+	"repro/internal/evlog"
 	"repro/internal/rescache"
 	"repro/internal/scenario"
 	"repro/internal/station"
@@ -63,9 +76,10 @@ import (
 	"repro/internal/trace"
 )
 
-const usageLine = "usage: glacsim [-scenario NAME] [-days N] [-v] | " +
-	"-sweep [-shard i/m] [-remote HOST:PORT,...] [-cache DIR|-no-cache] [-out text|csv|cells-csv|groups-csv|json] [-o FILE] | " +
-	"-merge [-out ENC] [-o FILE] FILE... | -worker -listen ADDR [-max-shards N] [-cache DIR] | -list"
+const usageLine = "usage: glacsim [-scenario NAME] [-days N] [-v] [-record FILE] | " +
+	"-sweep [-shard i/m] [-remote HOST:PORT,...] [-cache DIR|-no-cache] [-record-dir DIR] [-out text|csv|cells-csv|groups-csv|json] [-o FILE] | " +
+	"-merge [-out ENC] [-o FILE] FILE... | -replay FILE | -evdiff FILE FILE | " +
+	"-worker -listen ADDR [-max-shards N] [-cache DIR] | -list"
 
 // usageErrorf marks a bad flag combination: main prints the usage line
 // and exits 2, distinct from runtime failures.
@@ -106,6 +120,10 @@ func run() error {
 		cacheDir = flag.String("cache", "", "result cache directory (default $"+cliutil.CacheEnv+"): serve already-simulated cells from disk")
 		noCache  = flag.Bool("no-cache", false, "ignore $"+cliutil.CacheEnv+" and simulate every cell")
 		cacheMB  = flag.Int("cache-max-mb", 0, "result cache size bound in MiB, LRU-evicted (0 = unbounded)")
+		record   = flag.String("record", "", "record the run's event log to a file (single runs)")
+		recDir   = flag.String("record-dir", "", "sweep: record each cell's event log into this directory (implies -no-cache)")
+		replay   = flag.String("replay", "", "replay a recorded event log and verify step-for-step equivalence")
+		evdiff   = flag.Bool("evdiff", false, "diff two recorded event logs: glacsim -evdiff A B")
 	)
 	flag.Parse()
 	set := map[string]bool{}
@@ -134,8 +152,26 @@ func run() error {
 		}
 		return runMerge(flag.Args(), *out, *outFile)
 	}
+	if *evdiff {
+		if bad := flagsOutside(set, "evdiff"); len(bad) > 0 {
+			return usageErrorf("-%s does not apply to -evdiff", bad[0])
+		}
+		if flag.NArg() != 2 {
+			return usageErrorf("-evdiff needs exactly two event log files")
+		}
+		return runEvdiff(flag.Arg(0), flag.Arg(1))
+	}
 	if flag.NArg() > 0 {
-		return usageErrorf("unexpected arguments %q (only -merge reads files)", flag.Args())
+		return usageErrorf("unexpected arguments %q (only -merge and -evdiff read files)", flag.Args())
+	}
+	if *replay != "" {
+		// Everything a replay needs — scenario, seed, horizon, overrides —
+		// comes from the log's own header; any other flag is a confused
+		// invocation.
+		if bad := flagsOutside(set, "replay"); len(bad) > 0 {
+			return usageErrorf("-%s does not apply to -replay", bad[0])
+		}
+		return runReplay(*replay)
 	}
 
 	if *worker {
@@ -185,6 +221,12 @@ func run() error {
 		if set["workers"] && len(remoteWorkers) > 0 {
 			return usageErrorf("-workers sizes the in-process pool; with -remote the workers size their own")
 		}
+		if set["record"] {
+			return usageErrorf("-record records single runs; use -record-dir with -sweep")
+		}
+		if *recDir != "" && len(remoteWorkers) > 0 {
+			return usageErrorf("-record-dir records local execution; it cannot reach -remote workers")
+		}
 		var cache *rescache.DiskCache
 		if len(remoteWorkers) > 0 {
 			// The workers consult their own caches (glacsim -worker -cache);
@@ -192,14 +234,23 @@ func run() error {
 			if set["cache"] {
 				return usageErrorf("-cache caches local execution; with -remote give the workers -cache instead")
 			}
+		} else if *recDir != "" {
+			// A cache hit serves a cell without simulating it, so there would
+			// be no events to record; a recording run simulates every cell.
+			if set["cache"] {
+				return usageErrorf("-record-dir needs every cell simulated; it cannot combine with -cache")
+			}
 		} else if cache, err = openCache(*cacheDir, *noCache, *cacheMB); err != nil {
 			return err
 		}
 		return runSweep(*scen, *seed, *seeds, *workers, *days, *stations, *probes,
-			*start, *fixed, *csvPath, *verbose, shardI, shardM, set["shard"], remoteWorkers, cache, *out, *outFile)
+			*start, *fixed, *csvPath, *verbose, shardI, shardM, set["shard"], remoteWorkers, cache, *recDir, *out, *outFile)
 	}
 	if set["shard"] {
 		return usageErrorf("-shard slices sweep grids; use it with -sweep")
+	}
+	if set["record-dir"] {
+		return usageErrorf("-record-dir records sweep cells; use it with -sweep (single runs take -record FILE)")
 	}
 	if len(remoteWorkers) > 0 {
 		return usageErrorf("-remote dispatches sweep grids; use it with -sweep")
@@ -210,11 +261,17 @@ func run() error {
 	if *out != "text" || *outFile != "" {
 		return usageErrorf("-out and -o encode sweep summaries; use them with -sweep or -merge")
 	}
+	if *record != "" && *csvPath != "" {
+		// The -csv sampler schedules its own ticker events, which a replay —
+		// rebuilt from nothing but the log's header — could never reproduce.
+		return usageErrorf("-record captures replayable runs; it cannot combine with -csv")
+	}
 	s, ok := scenario.Lookup(*scen)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (try -list)", *scen)
 	}
 	params := scenario.Params{Seed: *seed, Stations: *stations, Probes: *probes, Days: *days}
+	horizon := s.Horizon(params)
 	top := s.Topology(params)
 	apply, err := flagOverride(*start, *fixed)
 	if err != nil {
@@ -227,6 +284,25 @@ func run() error {
 	d, err := deploy.Build(top)
 	if err != nil {
 		return err
+	}
+
+	var rec *evlog.Writer
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return fmt.Errorf("create event log: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		// The header carries everything -replay needs to rebuild this run:
+		// the flag surface is exactly the rebuildable surface.
+		rec, err = evlog.NewWriter(f, evlog.Header{
+			Scenario: s.Name, Seed: *seed, Stations: *stations, Probes: *probes,
+			Days: horizon, Start: *start, SpecialFirst: *fixed,
+		})
+		if err != nil {
+			return err
+		}
+		rec.Attach(d.Sim)
 	}
 
 	var volts *trace.Series
@@ -245,13 +321,20 @@ func run() error {
 		}
 	}
 
-	horizon := s.Horizon(params)
 	if err := d.RunDays(horizon); err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("=== scenario %s: %d simulated days ===\n", s.Name, horizon)
 	fmt.Print(d.Result())
+	if rec != nil {
+		fmt.Printf("event log (%d events) written to %s\n", rec.Records(), *record)
+	}
 	if volts != nil {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -310,7 +393,7 @@ func flagOverride(start string, fixed bool) (func(*deploy.Topology), error) {
 // and writes the summary in the requested encoding.
 func runSweep(scen string, seed int64, seeds, workers, days, stations, probes int,
 	start string, fixed bool, csvPath string, verbose bool,
-	shardI, shardM int, sharded bool, remote []string, cache *rescache.DiskCache, out, outFile string) error {
+	shardI, shardM int, sharded bool, remote []string, cache *rescache.DiskCache, recordDir, out, outFile string) error {
 	if csvPath != "" || verbose {
 		return usageErrorf("-csv and -v apply to single runs, not -sweep")
 	}
@@ -338,6 +421,19 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 	}
 	if apply != nil {
 		g.Overrides = []sweep.Override{{Name: "flags", Apply: apply}}
+	}
+	if recordDir != "" {
+		// Stamp every cell's header with the plan fingerprint, so an
+		// -evdiff across record directories can warn when the logs come
+		// from different grids.
+		plan, err := sweep.Plan(g)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(recordDir, 0o755); err != nil {
+			return fmt.Errorf("create record dir: %w", err)
+		}
+		g.Record = recordCell(recordDir, sweep.Fingerprint(g, plan), start, fixed)
 	}
 	var sum *sweep.Summary
 	if len(remote) > 0 {
@@ -380,6 +476,73 @@ func runSweep(scen string, seed int64, seeds, workers, days, stations, probes in
 		what = fmt.Sprintf("partial summary (shard %d/%d)", shardI, shardM)
 	}
 	return writeSummary(sum, what, out, outFile)
+}
+
+// recordCell is the Grid.Record hook behind -record-dir: each cell's
+// event log lands in dir as cell-NNNN.evlog, named by global plan index
+// so shard runs recording into a shared directory never collide.
+func recordCell(dir, fingerprint, start string, fixed bool) func(sweep.Cell, *deploy.Deployment) (func() error, error) {
+	return func(c sweep.Cell, d *deploy.Deployment) (func() error, error) {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("cell-%04d.evlog", c.Index)))
+		if err != nil {
+			return nil, fmt.Errorf("create cell event log: %w", err)
+		}
+		w, err := evlog.NewWriter(f, evlog.Header{
+			Scenario: c.Scenario, Seed: c.Seed, Stations: c.Stations, Probes: c.Probes,
+			Days: c.Days, Start: start, SpecialFirst: fixed, Fingerprint: fingerprint,
+		})
+		if err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		w.Attach(d.Sim)
+		return func() error {
+			werr := w.Close()
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		}, nil
+	}
+}
+
+// runReplay re-runs the scenario a recorded log describes and verifies
+// step-for-step equivalence. A divergence is a runtime error (exit 1)
+// naming the exact event.
+func runReplay(path string) error {
+	l, err := evlog.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	div, err := evlog.Verify(l)
+	if err != nil {
+		return err
+	}
+	if div != nil {
+		return fmt.Errorf("replay of %s diverged: %w", path, div)
+	}
+	fmt.Printf("replay of %s: %d events verified, zero divergences\n", path, len(l.Records))
+	return nil
+}
+
+// runEvdiff compares two recorded logs and reports the first divergence
+// with context; divergent logs are a runtime error (exit 1).
+func runEvdiff(pathA, pathB string) error {
+	a, err := evlog.ReadFile(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := evlog.ReadFile(pathB)
+	if err != nil {
+		return err
+	}
+	d := evlog.Diff(a, b)
+	if d == nil {
+		fmt.Printf("logs identical: %d events\n", len(a.Records))
+		return nil
+	}
+	fmt.Println(d.Report(a, b))
+	return fmt.Errorf("%s and %s diverge at event %d", pathA, pathB, d.Index)
 }
 
 // openCache opens the result cache the -cache/-no-cache flags select; a

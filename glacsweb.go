@@ -41,6 +41,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/distrib"
 	"repro/internal/energy"
+	"repro/internal/evlog"
 	"repro/internal/power"
 	"repro/internal/probe"
 	"repro/internal/protocol"
@@ -310,6 +311,44 @@ func RunSweepOn(g SweepGrid, r SweepRunner) (*SweepSummary, error) {
 // SeedRange returns n consecutive seeds starting at from — the usual seed
 // axis of a SweepGrid.
 func SeedRange(from int64, n int) []int64 { return sweep.SeedRange(from, n) }
+
+// Event record/replay (internal/evlog, DESIGN.md §12): an EventLogWriter
+// attached to a Simulator streams every executed event into a compact,
+// digest-chained log; ReadEventLog decodes and verifies one; ReplayEventLog
+// rebuilds the run from the log's own header and asserts step-for-step
+// equivalence; DiffEventLogs localizes the first divergence between two
+// recorded runs. The glacsim -record/-replay/-evdiff flags front these.
+type (
+	// EventLog is a fully decoded, verified event log.
+	EventLog = evlog.Log
+	// EventLogHeader identifies the run a log records.
+	EventLogHeader = evlog.Header
+	// EventLogWriter records executed events from a Simulator.
+	EventLogWriter = evlog.Writer
+	// EventRecord is one decoded executed-event record.
+	EventRecord = evlog.Record
+	// EventDivergence is the first disagreement between a run and a log.
+	EventDivergence = evlog.Divergence
+	// EventLogDiff is the first disagreement between two logs.
+	EventLogDiff = evlog.DiffResult
+)
+
+// NewEventLogWriter opens an event log on w; attach it to a deployment's
+// Simulator with Attach before the run and Close it after.
+func NewEventLogWriter(w io.Writer, hdr EventLogHeader) (*EventLogWriter, error) {
+	return evlog.NewWriter(w, hdr)
+}
+
+// ReadEventLog decodes and verifies a recorded event log (every record's
+// chain check, the trailer's count and final digest).
+func ReadEventLog(r io.Reader) (*EventLog, error) { return evlog.Read(r) }
+
+// ReplayEventLog rebuilds the run l's header describes, re-executes it and
+// returns the first divergence (nil = step-for-step equivalent).
+func ReplayEventLog(l *EventLog) (*EventDivergence, error) { return evlog.Verify(l) }
+
+// DiffEventLogs compares two logs record-for-record; nil means identical.
+func DiffEventLogs(a, b *EventLog) *EventLogDiff { return evlog.Diff(a, b) }
 
 // NewDeployment wires a complete simulated deployment. Zero-value fields of
 // cfg are filled with the as-deployed defaults (7 probes, September 2008

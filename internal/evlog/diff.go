@@ -1,0 +1,116 @@
+// The differ: compare two event logs record-for-record and localize the
+// first divergence with surrounding context — the tool for "these two
+// runs should have been identical; where did they part ways?".
+package evlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffResult describes the first divergence between two logs. A nil
+// *DiffResult from Diff means the logs' records are identical (headers
+// may still differ; see HeaderNote on a non-nil result).
+type DiffResult struct {
+	// Index is the first record index where the logs disagree.
+	Index uint64
+	// A is log A's record at Index (valid iff HaveA: A may end first).
+	A     Record
+	HaveA bool
+	// B is log B's record at Index (valid iff HaveB).
+	B     Record
+	HaveB bool
+	// HeaderNote is non-empty when the logs' headers describe different
+	// runs — a diff of different scenarios or seeds is almost certainly
+	// comparing the wrong files, so the report says so up front.
+	HeaderNote string
+}
+
+// Diff compares two logs and returns the first divergence, or nil when
+// every record matches (same count, same times, same names).
+func Diff(a, b *Log) *DiffResult {
+	note := headerNote(a.Header, b.Header)
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	for i := 0; i < n; i++ {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.Name != rb.Name || ra.AtSec != rb.AtSec || ra.AtNsec != rb.AtNsec {
+			return &DiffResult{Index: uint64(i), A: ra, HaveA: true, B: rb, HaveB: true, HeaderNote: note}
+		}
+	}
+	switch {
+	case len(a.Records) > n:
+		return &DiffResult{Index: uint64(n), A: a.Records[n], HaveA: true, HeaderNote: note}
+	case len(b.Records) > n:
+		return &DiffResult{Index: uint64(n), B: b.Records[n], HaveB: true, HeaderNote: note}
+	}
+	return nil
+}
+
+// headerNote renders the run-identity fields two compared headers
+// disagree on, or "" when they describe the same run.
+func headerNote(a, b Header) string {
+	var parts []string
+	if a.Scenario != b.Scenario {
+		parts = append(parts, fmt.Sprintf("scenario %q vs %q", a.Scenario, b.Scenario))
+	}
+	if a.Seed != b.Seed {
+		parts = append(parts, fmt.Sprintf("seed %d vs %d", a.Seed, b.Seed))
+	}
+	if a.Days != b.Days {
+		parts = append(parts, fmt.Sprintf("days %d vs %d", a.Days, b.Days))
+	}
+	if a.Stations != b.Stations {
+		parts = append(parts, fmt.Sprintf("stations %d vs %d", a.Stations, b.Stations))
+	}
+	if a.Probes != b.Probes {
+		parts = append(parts, fmt.Sprintf("probes %d vs %d", a.Probes, b.Probes))
+	}
+	if a.Fingerprint != b.Fingerprint {
+		parts = append(parts, fmt.Sprintf("fingerprint %q vs %q", a.Fingerprint, b.Fingerprint))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "the logs describe different runs: " + strings.Join(parts, ", ")
+}
+
+// diffContext is how many matching records the report shows on each
+// side of the divergence.
+const diffContext = 3
+
+// Report renders the divergence with surrounding context from both
+// logs, for the CLI and CI to print.
+func (d *DiffResult) Report(a, b *Log) string {
+	var sb strings.Builder
+	if d.HeaderNote != "" {
+		fmt.Fprintf(&sb, "note: %s\n", d.HeaderNote)
+	}
+	switch {
+	case d.HaveA && d.HaveB:
+		fmt.Fprintf(&sb, "logs diverge at event %d:\n  A %s\n  B %s\n", d.Index, d.A, d.B)
+	case d.HaveA:
+		fmt.Fprintf(&sb, "log B ends at event %d; A continues with:\n  A %s\n", d.Index, d.A)
+	default:
+		fmt.Fprintf(&sb, "log A ends at event %d; B continues with:\n  B %s\n", d.Index, d.B)
+	}
+	lo := 0
+	if d.Index > diffContext {
+		lo = int(d.Index) - diffContext
+	}
+	fmt.Fprintf(&sb, "context (events %d..%d):\n", lo, d.Index)
+	for i := lo; i <= int(d.Index); i++ {
+		line := func(tag string, recs []Record) {
+			if i < len(recs) {
+				fmt.Fprintf(&sb, "  %s %s\n", tag, recs[i])
+			} else {
+				fmt.Fprintf(&sb, "  %s %d: (log ended)\n", tag, i)
+			}
+		}
+		line("A", a.Records)
+		line("B", b.Records)
+	}
+	return strings.TrimSuffix(sb.String(), "\n")
+}

@@ -1,0 +1,138 @@
+// Golden event logs: where golden_test.go pins each built-in scenario's
+// summary output, this file pins the full executed-event stream, byte for
+// byte, through the evlog recorder. It lives in the external test package
+// because evlog imports scenario (the replayer rebuilds runs from log
+// headers); an internal test importing evlog would be an import cycle.
+package scenario_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/evlog"
+	"repro/internal/scenario"
+)
+
+// evlogGoldenRuns pins every built-in scenario at the golden seed over a
+// short horizon. Horizons are shorter than golden_test.go's: an event log
+// carries every executed event (roughly one to two thousand a day), and
+// these keep the committed goldens a few tens of kilobytes each while
+// still crossing several diurnal cycles of every subsystem.
+var evlogGoldenRuns = []struct {
+	name string
+	seed int64
+	days int
+}{
+	{"as-deployed-2008", 42, 7},
+	{"dual-base", 42, 5},
+	{"fleet-N", 42, 4},
+	{"probe-heavy", 42, 5},
+	{"winter-blackout", 42, 7},
+}
+
+// updateGoldens reports whether the suite runs under -update. The flag
+// itself is registered by golden_test.go in the internal test package —
+// same binary, so it is looked up rather than registered twice.
+func updateGoldens() bool {
+	f := flag.Lookup("update")
+	return f != nil && f.Value.String() == "true"
+}
+
+// recordGolden runs one golden configuration with a recorder attached and
+// returns the sealed log bytes.
+func recordGolden(t *testing.T, name string, seed int64, days int) []byte {
+	t.Helper()
+	d, err := scenario.Build(name, scenario.Params{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := evlog.NewWriter(&buf, evlog.Header{Scenario: name, Seed: seed, Days: days})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Attach(d.Sim)
+	if err := d.RunDays(days); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenEventLogs pins the recorded event stream of every built-in
+// scenario byte for byte. Where TestGoldenTraces catches that something
+// changed, an event-log diff says which event, at which instant, changed
+// first — regenerate deliberately with:
+//
+//	go test ./internal/scenario -run TestGoldenEventLogs -update
+func TestGoldenEventLogs(t *testing.T) {
+	for _, g := range evlogGoldenRuns {
+		t.Run(g.name, func(t *testing.T) {
+			got := recordGolden(t, g.name, g.seed, g.days)
+			path := filepath.Join("testdata", "evlog", g.name+".evlog")
+			if updateGoldens() {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden event log (regenerate with -update): %v", err)
+			}
+			if bytes.Equal(got, want) {
+				return
+			}
+			// Decode both streams and point at the first divergent event
+			// rather than dumping binary.
+			wantLog, err := evlog.Read(bytes.NewReader(want))
+			if err != nil {
+				t.Fatalf("golden log no longer decodes: %v", err)
+			}
+			gotLog, err := evlog.Read(bytes.NewReader(got))
+			if err != nil {
+				t.Fatalf("freshly recorded log does not decode: %v", err)
+			}
+			if d := evlog.Diff(wantLog, gotLog); d != nil {
+				t.Errorf("%s (seed %d, %d days) diverged from its golden event log.\n%s\n"+
+					"If the change is intentional, regenerate with: go test ./internal/scenario -run TestGoldenEventLogs -update",
+					g.name, g.seed, g.days, d.Report(wantLog, gotLog))
+			} else {
+				t.Errorf("%s: log bytes changed without a record-level divergence (format drift?); "+
+					"regenerate with -update if intentional", g.name)
+			}
+		})
+	}
+}
+
+// TestGoldenEventLogsReplay replays every committed golden from nothing
+// but its own header and asserts zero divergence — the recorded stream is
+// not just stable, it is reproducible by a fresh simulation.
+func TestGoldenEventLogsReplay(t *testing.T) {
+	if updateGoldens() {
+		t.Skip("goldens are being rewritten")
+	}
+	for _, g := range evlogGoldenRuns {
+		t.Run(g.name, func(t *testing.T) {
+			l, err := evlog.ReadFile(filepath.Join("testdata", "evlog", g.name+".evlog"))
+			if err != nil {
+				t.Fatalf("missing golden event log (regenerate with -update): %v", err)
+			}
+			div, err := evlog.Verify(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if div != nil {
+				t.Fatalf("replaying the %s golden diverged: %v", g.name, div)
+			}
+		})
+	}
+}

@@ -257,7 +257,10 @@ func (s *Simulator) Rand(name string) *rand.Rand {
 }
 
 // OnEvent registers a tracer invoked before each event runs. Used by tests
-// and the trace package to observe scheduling without changing behaviour.
+// and the trace package to observe scheduling without changing behaviour,
+// and by the evlog recorder/verifier (DESIGN.md §12) as the hook through
+// which whole runs are recorded and replayed event for event. With no
+// tracers registered the Step path pays nothing for this seam.
 func (s *Simulator) OnEvent(fn func(name string, at time.Time)) {
 	s.tracers = append(s.tracers, fn)
 }

@@ -216,9 +216,11 @@ func RunPlanned(g Grid, r Runner, fingerprint string, totalCells int, cells []Ce
 	return sum, nil
 }
 
-// runCell builds, runs and measures one independent deployment.
-func (g Grid) runCell(c Cell) CellResult {
-	cr := CellResult{Cell: c}
+// runCell builds, runs and measures one independent deployment. The
+// named return lets the deferred Record finish hook fail the cell from
+// behind any return path.
+func (g Grid) runCell(c Cell) (cr CellResult) {
+	cr = CellResult{Cell: c}
 	s, ok := scenario.Lookup(c.Scenario)
 	if !ok {
 		cr.Err = fmt.Sprintf("scenario %q disappeared from the registry", c.Scenario)
@@ -253,6 +255,22 @@ func (g Grid) runCell(c Cell) CellResult {
 	if err != nil {
 		cr.Err = err.Error()
 		return cr
+	}
+	if g.Record != nil {
+		finish, err := g.Record(c, d)
+		if err != nil {
+			cr.Err = err.Error()
+			return cr
+		}
+		if finish != nil {
+			// Seal the cell's log whichever way the run ends; a seal
+			// failure fails the cell, but never masks a run error.
+			defer func() {
+				if err := finish(); err != nil && cr.Err == "" {
+					cr.Err = err.Error()
+				}
+			}()
+		}
 	}
 	if g.Collect != nil {
 		// Attach samplers before the run so the series cover it end to end

@@ -100,6 +100,17 @@ type Grid struct {
 	// curves for figures, not just scalar metrics. Same concurrency
 	// contract as Drive.
 	Collect func(Cell, *deploy.Deployment) []*trace.Series
+	// Record, when set, is called after the cell's deployment is built but
+	// before Collect and the run, so it can attach an event recorder
+	// (evlog.Writer.Attach) to the cell's simulator. The returned finish
+	// func — which may be nil — is called once the cell's run completes, to
+	// seal the log; a finish error fails the cell like any run error. A
+	// setup error fails the cell before it runs. Recording rides the same
+	// determinism contract as everything else here: a cell's event stream
+	// depends only on the grid and the cell, so its recorded log is
+	// byte-identical for any worker count or shard split. Same concurrency
+	// contract as Drive.
+	Record func(Cell, *deploy.Deployment) (finish func() error, err error)
 }
 
 // SeedRange returns n consecutive seeds starting at from — the usual seed
